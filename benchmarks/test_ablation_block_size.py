@@ -1,0 +1,38 @@
+"""Ablation: thread-block size vs device time (the paper's §5.4 text).
+
+"When the block size is too large (e.g., >= 256), the overall performance
+of PixelBox degrades ... less thread blocks can run concurrently on a
+multiprocessor and the sampling box partitioning will be less fine-grained."
+"""
+
+from repro.experiments.common import representative_pairs
+from repro.gpu.cost import OptimizationFlags
+from repro.gpu.device import GTX580
+from repro.gpu.simt_kernel import collect_block_counts
+from repro.gpu.simulator import simulate_device
+from repro.pixelbox.common import LaunchConfig
+
+
+def test_block_size_ablation(benchmark, save_report):
+    base = representative_pairs(quick=True, limit=80)
+    pairs = [(p.scale(3), q.scale(3)) for p, q in base]
+
+    def sweep():
+        rows = []
+        for block_size in (16, 32, 64, 128, 256, 512):
+            cfg = LaunchConfig(block_size=block_size)
+            counts = [collect_block_counts(p, q, cfg) for p, q in pairs]
+            report = simulate_device(counts, GTX580, OptimizationFlags(), cfg)
+            rows.append((block_size, report.device_ms, report.occupancy))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["== Ablation — block size vs simulated device time =="]
+    for block_size, ms, occupancy in rows:
+        lines.append(f"block {block_size:>4}: {ms:8.3f} ms "
+                     f"(occupancy {occupancy} blocks/SM)")
+    lines.append("paper (§5.4): block sizes >= 256 degrade performance")
+    save_report("ablation_block_size", "\n".join(lines))
+    by_block = {b: ms for b, ms, _ in rows}
+    # A paper-recommended small block must beat the oversized ones.
+    assert min(by_block[16], by_block[32], by_block[64]) < by_block[512]

@@ -1,0 +1,25 @@
+"""Figure 2 benchmark: SDBMS query-time decomposition."""
+
+from repro.experiments import fig2_profiling
+from repro.sdbms.profiler import Bucket
+
+
+def test_fig02_decomposition(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: fig2_profiling.run(quick=True), rounds=1, iterations=1
+    )
+    save_report("fig02", result.render())
+    shares = {row[0]: (row[1], row[2]) for row in result.rows}
+    # Optimized query: area-of-intersection dominates, union is gone.
+    assert shares[Bucket.AREA_OF_INTERSECTION][1] > 40.0
+    assert shares[Bucket.AREA_OF_UNION][1] == 0.0
+    # Unoptimized query: intersects + both areas carry most of the time.
+    heavy = (
+        shares[Bucket.ST_INTERSECTS][0]
+        + shares[Bucket.AREA_OF_INTERSECTION][0]
+        + shares[Bucket.AREA_OF_UNION][0]
+    )
+    assert heavy > 60.0
+    # Index work stays small in both queries.
+    assert shares[Bucket.INDEX_BUILD][0] < 15.0
+    assert shares[Bucket.INDEX_SEARCH][0] < 15.0

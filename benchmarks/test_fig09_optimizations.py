@@ -1,0 +1,27 @@
+"""Figure 9 benchmark: implementation optimizations on the SIMT model."""
+
+from repro.experiments import fig9_optimizations
+from repro.experiments.common import representative_pairs
+from repro.gpu.device import GTX580
+from repro.gpu.cost import OptimizationFlags
+from repro.gpu.simt_kernel import collect_block_counts
+from repro.gpu.simulator import simulate_device
+
+
+def test_fig09_report(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: fig9_optimizations.run(quick=True), rounds=1, iterations=1
+    )
+    save_report("fig09", result.render())
+    for row in result.rows:
+        speedups = row[1:]
+        # Monotone: each added optimization never hurts; full > 1.05x.
+        assert speedups[0] == 1.0
+        assert all(b >= a * 0.999 for a, b in zip(speedups, speedups[1:]))
+        assert speedups[-1] > 1.05
+
+
+def test_bench_simt_simulation(benchmark):
+    pairs = representative_pairs(quick=True, limit=60)
+    counts = [collect_block_counts(p, q) for p, q in pairs]
+    benchmark(lambda: simulate_device(counts, GTX580, OptimizationFlags()))

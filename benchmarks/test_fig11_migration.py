@@ -1,0 +1,31 @@
+"""Figure 11 benchmark: dynamic task migration benefit."""
+
+from repro.experiments import fig11_migration
+from repro.experiments.common import pipeline_dataset
+from repro.pipeline.device import GpuDevice
+from repro.pipeline.engine import PipelineOptions, run_pipelined
+from repro.pipeline.migration import MigrationConfig
+
+
+def test_fig11_report(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: fig11_migration.run(quick=True), rounds=1, iterations=1
+    )
+    save_report("fig11", result.render())
+    # Migration must never cost more than measurement noise...
+    for row in result.rows:
+        assert row[3] > 0.8
+    # ...and the slowed-GPU configuration (Config-III) must show the
+    # paper's GPU-to-CPU migration direction with a real gain.
+    assert result.rows[-1][3] > 1.1
+
+
+def test_bench_pipelined_with_migration(benchmark):
+    dir_a, dir_b = pipeline_dataset(quick=True)
+    options = PipelineOptions(
+        devices=[GpuDevice(launch_overhead=0.002)],
+        migration=MigrationConfig(cpu_workers=2),
+    )
+    benchmark.pedantic(
+        lambda: run_pipelined(dir_a, dir_b, options), rounds=3, iterations=1
+    )

@@ -1,0 +1,16 @@
+"""Figure 12 benchmark: SCCG vs PostGIS-M over the dataset suite."""
+
+from repro.experiments import fig12_datasets
+
+
+def test_fig12_report(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: fig12_datasets.run(quick=True), rounds=1, iterations=1
+    )
+    save_report("fig12", result.render())
+    *dataset_rows, mean_row = result.rows
+    # Every dataset: SCCG wins, similarity agrees exactly.
+    for row in dataset_rows:
+        assert row[5] > 1.0, f"SCCG slower than PostGIS-M on {row[0]}"
+        assert row[6] == "yes"
+    assert mean_row[5] > 2.0  # geometric-mean speedup

@@ -1,0 +1,32 @@
+"""Table 1 benchmark: execution schemes vs PostGIS-S."""
+
+from repro.experiments import table1_pipeline
+from repro.experiments.common import pipeline_dataset
+from repro.pipeline.device import GpuDevice
+from repro.pipeline.engine import PipelineOptions, run_pipelined
+
+
+def test_table1_report(benchmark, save_report):
+    result = benchmark.pedantic(
+        lambda: table1_pipeline.run(quick=True), rounds=1, iterations=1
+    )
+    save_report("table1", result.render())
+    speedups = {row[0]: row[2] for row in result.rows}
+    # Every accelerated scheme must beat single-core PostGIS.
+    assert speedups["NoPipe-S"] > 1.0
+    assert speedups["NoPipe-M"] > 1.0
+    assert speedups["Pipelined"] > 1.0
+    # The pipelined scheme is the paper's best performer.
+    assert speedups["Pipelined"] >= speedups["NoPipe-S"] * 0.8
+
+
+def test_bench_pipelined(benchmark):
+    dir_a, dir_b = pipeline_dataset(quick=True)
+    benchmark.pedantic(
+        lambda: run_pipelined(
+            dir_a, dir_b,
+            PipelineOptions(devices=[GpuDevice(launch_overhead=0.002)]),
+        ),
+        rounds=3,
+        iterations=1,
+    )

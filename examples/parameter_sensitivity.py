@@ -1,0 +1,37 @@
+"""Parameter sensitivity study (§2.1's second motivating workflow).
+
+"A slight change of algorithm parameters may lead to dramatic variations
+in segmentation output."  This example sweeps one synthetic-algorithm
+parameter (the boundary-scale noise of the perturbation model) and plots
+how J' degrades as the two runs diverge — the curve a sensitivity study
+reports for each parameter.
+
+Run:  python examples/parameter_sensitivity.py
+"""
+
+from repro.data import PerturbModel, TileSpec, generate_tile
+from repro.metrics import jaccard_global, jaccard_pairwise
+
+
+def main() -> None:
+    print(f"{'grow_sd':>8}  {'J-prime':>8}  {'global J':>8}  "
+          f"{'missing':>7}  bar")
+    for grow_sd in (0.0, 0.03, 0.06, 0.10, 0.15, 0.22, 0.30):
+        model = PerturbModel(grow_sd=grow_sd, shift_sd=grow_sd * 12,
+                             drop_rate=grow_sd / 3)
+        tile = generate_tile(
+            TileSpec(width=512, height=512, nuclei=60, seed=13),
+            perturb=model,
+        )
+        pw = jaccard_pairwise(tile.polygons_a, tile.polygons_b)
+        jg = jaccard_global(tile.polygons_a, tile.polygons_b)
+        bar = "#" * int(pw.mean_ratio * 40)
+        print(f"{grow_sd:>8.2f}  {pw.mean_ratio:>8.4f}  {jg:>8.4f}  "
+              f"{pw.missing_a + pw.missing_b:>7}  {bar}")
+    print("\nJ' decreases monotonically as the parameter perturbation "
+          "grows — the sensitivity signal the cross-comparison tooling "
+          "exists to measure.")
+
+
+if __name__ == "__main__":
+    main()

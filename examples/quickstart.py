@@ -1,0 +1,38 @@
+"""Quickstart: cross-compare two segmentation results of one tile.
+
+Generates a synthetic pathology tile with two segmentation results (the
+second derived through a realistic perturbation model), computes their
+Jaccard similarity J' with the PixelBox batch kernel, and cross-checks
+the answer against the exact vector-geometry baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import cross_compare
+from repro.data import generate_tile_pair, polygon_stats
+from repro.sdbms import run_cross_compare
+
+
+def main() -> None:
+    # Two polygon sets segmented from the same 512x512 tile.
+    result_a, result_b = generate_tile_pair(seed=7, nuclei=60)
+    print("result A:", polygon_stats(result_a))
+    print("result B:", polygon_stats(result_b))
+
+    # PixelBox path (the paper's accelerated system).
+    result = cross_compare(result_a, result_b)
+    print()
+    print("PixelBox:", result)
+
+    # Exact SDBMS path (the PostGIS/GEOS baseline) — must agree bit-for-bit.
+    baseline = run_cross_compare(result_a, result_b, optimized=True)
+    print(f"SDBMS   : J'={baseline.jaccard_mean:.4f} "
+          f"({baseline.pair_count} pairs)")
+    assert abs(result.jaccard_mean - baseline.jaccard_mean) < 1e-12
+    print()
+    print("Both systems agree exactly — pixelization is lossless on "
+          "rectilinear polygons (paper §3.4).")
+
+
+if __name__ == "__main__":
+    main()

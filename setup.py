@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs on machines without the
+``wheel`` package (pip falls back to ``setup.py develop``)."""
+
+from setuptools import setup
+
+setup()

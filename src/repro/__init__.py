@@ -1,0 +1,51 @@
+"""repro — reproduction of "Accelerating Pathology Image Data
+Cross-Comparison on CPU-GPU Hybrid Systems" (PixelBox / SCCG, VLDB 2012).
+
+Public API tour
+---------------
+* :mod:`repro.geometry` — rectilinear polygons on the pixel grid.
+* :mod:`repro.exact` — exact vector overlay (the GEOS/PostGIS stand-in).
+* :mod:`repro.pixelbox` — the paper's PixelBox algorithm (all variants).
+* :mod:`repro.gpu` — SIMT GPU simulator used for architecture experiments.
+* :mod:`repro.index` — Hilbert R-tree and the MBR pair join.
+* :mod:`repro.sdbms` — mini spatial DBMS with per-operator profiling.
+* :mod:`repro.io` / :mod:`repro.data` — polygon files and synthetic slides.
+* :mod:`repro.pipeline` — the SCCG pipelined framework + task migration.
+* :mod:`repro.metrics` — Jaccard similarity of polygon sets.
+* :mod:`repro.experiments` — one module per paper table/figure.
+
+Quickstart
+----------
+>>> from repro import cross_compare
+>>> from repro.data import generate_tile_pair
+>>> result = cross_compare(*generate_tile_pair(seed=7))
+>>> 0.0 < result.jaccard_mean <= 1.0
+True
+"""
+
+from repro._version import __version__
+from repro.geometry import Box, RectilinearPolygon
+
+__all__ = [
+    "__version__",
+    "Box",
+    "RectilinearPolygon",
+    "cross_compare",
+    "cross_compare_files",
+    "CrossCompareResult",
+]
+
+_API_NAMES = {"cross_compare", "cross_compare_files", "CrossCompareResult"}
+
+
+def __getattr__(name: str):
+    """Load the high-level API lazily.
+
+    ``repro.api`` pulls in the pipeline and kernel packages; deferring the
+    import keeps ``import repro`` cheap for users who only need geometry.
+    """
+    if name in _API_NAMES:
+        from repro import api
+
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,100 @@
+"""High-level SCCG API: cross-compare polygon sets or result directories.
+
+This is the library's front door.  :func:`cross_compare` works on
+in-memory polygon lists (one tile); :func:`cross_compare_files` drives the
+full pipeline — parse, index, filter, aggregate — over two on-disk result
+sets, the way the paper's system consumes a whole image.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.geometry.polygon import RectilinearPolygon
+from repro.metrics.jaccard import PairwiseJaccard, jaccard_pairwise
+from repro.pixelbox.common import LaunchConfig
+
+__all__ = ["CrossCompareResult", "cross_compare", "cross_compare_files"]
+
+
+@dataclass(frozen=True, slots=True)
+class CrossCompareResult:
+    """Outcome of a cross-comparison run."""
+
+    jaccard_mean: float
+    intersecting_pairs: int
+    candidate_pairs: int
+    missing_a: int
+    missing_b: int
+    count_a: int
+    count_b: int
+    tiles: int = 1
+
+    @classmethod
+    def from_pairwise(
+        cls, pw: PairwiseJaccard, tiles: int = 1
+    ) -> "CrossCompareResult":
+        """Wrap a metrics-layer result."""
+        return cls(
+            jaccard_mean=pw.mean_ratio,
+            intersecting_pairs=pw.intersecting_pairs,
+            candidate_pairs=pw.candidate_pairs,
+            missing_a=pw.missing_a,
+            missing_b=pw.missing_b,
+            count_a=pw.count_a,
+            count_b=pw.count_b,
+            tiles=tiles,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"J'={self.jaccard_mean:.4f} ({self.intersecting_pairs} pairs, "
+            f"{self.tiles} tile(s); {self.count_a} vs {self.count_b} "
+            f"polygons; missing {self.missing_a}/{self.missing_b})"
+        )
+
+
+def cross_compare(
+    set_a: list[RectilinearPolygon],
+    set_b: list[RectilinearPolygon],
+    config: LaunchConfig | None = None,
+) -> CrossCompareResult:
+    """Cross-compare two in-memory polygon sets (one tile's results)."""
+    return CrossCompareResult.from_pairwise(jaccard_pairwise(set_a, set_b, config))
+
+
+def cross_compare_files(
+    dir_a: str | Path,
+    dir_b: str | Path,
+    config: LaunchConfig | None = None,
+    parser_workers: int = 2,
+) -> CrossCompareResult:
+    """Cross-compare two on-disk result sets with the SCCG pipeline.
+
+    Parameters
+    ----------
+    dir_a, dir_b:
+        Result-set directories in the :mod:`repro.io.tiles` layout.
+    config:
+        Kernel launch configuration for the aggregator.
+    parser_workers:
+        Worker threads for the parser stage.
+    """
+    from repro.pipeline.engine import PipelineOptions, run_pipelined
+
+    options = PipelineOptions(
+        parser_workers=parser_workers,
+        launch_config=config or LaunchConfig(),
+    )
+    outcome = run_pipelined(dir_a, dir_b, options)
+    return CrossCompareResult(
+        jaccard_mean=outcome.jaccard_mean,
+        intersecting_pairs=outcome.intersecting_pairs,
+        candidate_pairs=outcome.candidate_pairs,
+        missing_a=outcome.missing_a,
+        missing_b=outcome.missing_b,
+        count_a=outcome.count_a,
+        count_b=outcome.count_b,
+        tiles=outcome.tiles,
+    )

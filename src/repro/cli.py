@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro`` / the ``repro`` script.
+
+Subcommands::
+
+    repro list-experiments
+    repro run fig7 [--full]
+    repro run-all [--full]
+    repro generate-suite [--scale 0.02] [--root DIR]
+    repro compare DIR_A DIR_B [--no-migration]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "SCCG / PixelBox reproduction (VLDB 2012): cross-compare "
+            "pathology polygon sets and regenerate the paper's experiments"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-experiments", help="list experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", help="experiment id, e.g. fig7")
+    run.add_argument(
+        "--full", action="store_true",
+        help="full-size workload (slower, closer to the paper's scale)",
+    )
+
+    run_all = sub.add_parser("run-all", help="run every experiment")
+    run_all.add_argument("--full", action="store_true")
+
+    gen = sub.add_parser("generate-suite", help="materialize the 18 datasets")
+    gen.add_argument("--scale", type=float, default=0.02)
+    gen.add_argument("--root", type=Path, default=None)
+
+    cmp_ = sub.add_parser("compare", help="cross-compare two result sets")
+    cmp_.add_argument("dir_a", type=Path)
+    cmp_.add_argument("dir_b", type=Path)
+    cmp_.add_argument("--no-migration", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list-experiments":
+        from repro.experiments.registry import experiment_names
+
+        for name in experiment_names():
+            print(name)
+        return 0
+
+    if args.command == "run":
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment(args.experiment, quick=not args.full)
+        print(result.render())
+        return 0
+
+    if args.command == "run-all":
+        from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+        for name in EXPERIMENTS:
+            print(run_experiment(name, quick=not args.full).render())
+            print()
+        return 0
+
+    if args.command == "generate-suite":
+        from repro.data.datasets import generate_dataset, suite_specs
+        from repro.experiments.common import data_root
+
+        root = args.root or data_root()
+        for spec in suite_specs(scale=args.scale):
+            dir_a, _ = generate_dataset(spec, root)
+            print(f"{spec.name}: {spec.tiles} tiles -> {dir_a.parent}")
+        return 0
+
+    if args.command == "compare":
+        from repro.api import cross_compare_files
+        from repro.pipeline.engine import PipelineOptions, run_pipelined
+        from repro.pipeline.migration import MigrationConfig
+
+        if args.no_migration:
+            outcome = run_pipelined(args.dir_a, args.dir_b, PipelineOptions())
+        else:
+            outcome = run_pipelined(
+                args.dir_a, args.dir_b,
+                PipelineOptions(migration=MigrationConfig()),
+            )
+        print(
+            f"J' = {outcome.jaccard_mean:.4f} over "
+            f"{outcome.intersecting_pairs} intersecting pairs "
+            f"({outcome.tiles} tiles, {outcome.wall_seconds:.2f}s, "
+            f"{outcome.throughput / 1e6:.2f} MB/s)"
+        )
+        print(
+            f"missing polygons: {outcome.missing_a} of {outcome.count_a} "
+            f"in A, {outcome.missing_b} of {outcome.count_b} in B"
+        )
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the subcommands
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Synthetic pathology data: nuclei shapes, tiles, and the 18-dataset suite.
+
+Stands in for the paper's brain-tumor datasets (which are not publicly
+available); calibrated to the published workload statistics — see
+DESIGN.md's substitution table.
+"""
+
+from repro.data.datasets import (
+    DEFAULT_SUITE_SCALE,
+    DatasetSpec,
+    generate_dataset,
+    suite_specs,
+)
+from repro.data.perturb import PerturbModel
+from repro.data.shapes import NucleusShape, rasterize_shape, sample_shape
+from repro.data.stats import PolygonStats, dataset_stats, polygon_stats
+from repro.data.synth import (
+    SyntheticTile,
+    TileSpec,
+    generate_tile,
+    generate_tile_pair,
+)
+
+__all__ = [
+    "NucleusShape",
+    "sample_shape",
+    "rasterize_shape",
+    "PerturbModel",
+    "TileSpec",
+    "SyntheticTile",
+    "generate_tile",
+    "generate_tile_pair",
+    "DatasetSpec",
+    "suite_specs",
+    "generate_dataset",
+    "DEFAULT_SUITE_SCALE",
+    "PolygonStats",
+    "polygon_stats",
+    "dataset_stats",
+]

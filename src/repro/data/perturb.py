@@ -1,0 +1,73 @@
+"""Perturbation model: deriving the second segmentation result.
+
+Cross-comparison in the paper evaluates how much two segmentations of the
+*same* image differ (algorithm validation / parameter sensitivity, §2.1).
+This model captures the dominant real-world differences between two runs:
+
+* **boundary scale** — a different threshold grows or shrinks every
+  boundary by a few percent (``grow_sd``);
+* **localization jitter** — object centers move by a sub-pixel to
+  few-pixel offset (``shift_sd``);
+* **drop rate** — some objects are missed entirely (the paper's "missing
+  polygons", excluded from J' but counted separately);
+* **spurious rate** — some objects are hallucinated where the reference
+  saw nothing.
+
+The model is deterministic given the tile RNG, so datasets regenerate
+bit-identically from their seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.shapes import NucleusShape, rasterize_shape, sample_shape
+from repro.errors import DatasetError
+
+__all__ = ["PerturbModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class PerturbModel:
+    """Stochastic transformation from result A's nuclei to result B's."""
+
+    grow_sd: float = 0.06
+    shift_sd: float = 0.8
+    drop_rate: float = 0.04
+    spurious_rate: float = 0.03
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise DatasetError(f"drop rate must be in [0, 1), got {self.drop_rate}")
+        if not 0.0 <= self.spurious_rate < 1.0:
+            raise DatasetError(
+                f"spurious rate must be in [0, 1), got {self.spurious_rate}"
+            )
+
+    def render(
+        self,
+        rng: np.random.Generator,
+        shapes: list[NucleusShape],
+        width: int,
+        height: int,
+    ) -> np.ndarray:
+        """Rasterize the perturbed view of ``shapes`` onto a tile mask."""
+        mask = np.zeros((height, width), dtype=bool)
+        for shape in shapes:
+            if rng.random() < self.drop_rate:
+                continue
+            grow = float(rng.normal(0.0, self.grow_sd))
+            shift = (
+                float(rng.normal(0.0, self.shift_sd)),
+                float(rng.normal(0.0, self.shift_sd)),
+            )
+            mask |= rasterize_shape(shape, width, height, grow=grow, shift=shift)
+        spurious = rng.binomial(max(len(shapes), 1), self.spurious_rate)
+        for _ in range(spurious):
+            cx = rng.uniform(2, width - 2)
+            cy = rng.uniform(2, height - 2)
+            ghost = sample_shape(rng, cx, cy, mean_radius=5.0, radius_sd=1.0)
+            mask |= rasterize_shape(ghost, width, height)
+        return mask

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the SCCG reproduction.
+
+Every package raises subclasses of :class:`ReproError` so applications can
+catch library failures with a single ``except`` clause while still being
+able to distinguish geometry problems from, say, pipeline misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (malformed polygon, empty box, ...)."""
+
+
+class RectilinearityError(GeometryError):
+    """A polygon violates the rectilinear (axis-aligned edges) contract."""
+
+
+class RingClosureError(GeometryError):
+    """A polygon ring is not closed or has too few vertices."""
+
+
+class RasterError(GeometryError):
+    """A raster mask cannot be converted to/from polygons."""
+
+
+class WktError(GeometryError):
+    """Malformed Well-Known-Text input."""
+
+
+class ParseError(ReproError):
+    """Malformed polygon file content."""
+
+
+class IndexError_(ReproError):
+    """Spatial index construction or query misuse."""
+
+
+class QueryError(ReproError):
+    """Invalid SDBMS query plan or expression."""
+
+
+class CatalogError(ReproError):
+    """Unknown table/column or duplicate registration in the catalog."""
+
+
+class KernelError(ReproError):
+    """PixelBox kernel misconfiguration (bad threshold, empty batch, ...)."""
+
+
+class DeviceError(ReproError):
+    """GPU simulator / device model misuse."""
+
+
+class PipelineError(ReproError):
+    """Pipeline assembly or runtime failure."""
+
+
+class BufferClosedError(PipelineError):
+    """A stage attempted to use an inter-stage buffer after shutdown."""
+
+
+class MigrationError(PipelineError):
+    """Dynamic task migration configuration error."""
+
+
+class DatasetError(ReproError):
+    """Synthetic dataset specification or generation failure."""
+
+
+class ExperimentError(ReproError):
+    """Experiment harness misuse (unknown experiment id, bad params)."""

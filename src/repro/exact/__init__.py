@@ -1,0 +1,51 @@
+"""Exact vector-geometry overlay — the GEOS/PostGIS baseline stand-in.
+
+This package constructs exact intersection/union *geometry* of rectilinear
+polygons with scalar, branch-heavy plane-sweep code, reproducing the cost
+profile paper §2.3 measures for GEOS inside PostGIS.  It also serves as
+the correctness oracle for every PixelBox implementation (paper §3.4).
+"""
+
+from repro.exact.boolean import (
+    difference,
+    intersection,
+    intersection_area,
+    subtract_box,
+    union,
+    union_area,
+)
+from repro.exact.decompose import decompose, decompose_edges
+from repro.exact.measure import CoverageSegmentTree, union_area_of_boxes
+from repro.exact.predicates import (
+    boundaries_touch,
+    interiors_intersect,
+    st_contains,
+    st_disjoint,
+    st_equals,
+    st_intersects,
+    st_touches,
+    st_within,
+)
+from repro.exact.region import RectRegion
+
+__all__ = [
+    "RectRegion",
+    "decompose",
+    "decompose_edges",
+    "intersection",
+    "union",
+    "difference",
+    "intersection_area",
+    "union_area",
+    "subtract_box",
+    "union_area_of_boxes",
+    "CoverageSegmentTree",
+    "st_intersects",
+    "st_disjoint",
+    "st_touches",
+    "st_contains",
+    "st_within",
+    "st_equals",
+    "boundaries_touch",
+    "interiors_intersect",
+]

@@ -1,0 +1,123 @@
+"""Exact spatial predicates over rectilinear polygons.
+
+The SDBMS baseline exposes these as ``ST_Intersects``, ``ST_Touches``,
+``ST_Contains``, ``ST_Within``, ``ST_Equals`` and ``ST_Disjoint``.
+Predicate semantics follow OGC/PostGIS: *intersects* is true when the
+closed point sets share at least one point (boundary touching counts),
+*touches* when only boundaries meet.
+
+Paper §3.4 sketches how PixelBox generalizes to these operators
+(``ST_Contains`` via area equality, ``ST_Touches`` via edge tests); the
+implementations here follow those sketches on the exact-geometry side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.polygon import RectilinearPolygon
+from repro.exact.boolean import intersection_area
+
+__all__ = [
+    "st_intersects",
+    "st_disjoint",
+    "st_touches",
+    "st_contains",
+    "st_within",
+    "st_equals",
+    "boundaries_touch",
+    "interiors_intersect",
+]
+
+
+def interiors_intersect(p: RectilinearPolygon, q: RectilinearPolygon) -> bool:
+    """True when the interiors share at least one pixel (area > 0)."""
+    return intersection_area(p, q) > 0
+
+
+def boundaries_touch(p: RectilinearPolygon, q: RectilinearPolygon) -> bool:
+    """True when the boundary polylines share at least one point.
+
+    Checked pairwise between edge families: perpendicular edges can cross
+    or meet at a point; parallel collinear edges can overlap along a
+    segment or meet at an endpoint.  All comparisons use closed intervals,
+    matching the OGC boundary semantics.
+    """
+    pv, ph = p.vertical_edges, p.horizontal_edges
+    qv, qh = q.vertical_edges, q.horizontal_edges
+    return (
+        _perpendicular_touch(pv, qh)
+        or _perpendicular_touch(qv, ph)
+        or _parallel_touch(pv, qv)
+        or _parallel_touch(ph, qh)
+    )
+
+
+def st_intersects(p: RectilinearPolygon, q: RectilinearPolygon) -> bool:
+    """OGC ``ST_Intersects``: closed point sets share at least one point."""
+    if not p.mbr.intersects_or_touches(q.mbr):
+        return False
+    return interiors_intersect(p, q) or boundaries_touch(p, q)
+
+
+def st_disjoint(p: RectilinearPolygon, q: RectilinearPolygon) -> bool:
+    """OGC ``ST_Disjoint`` — the negation of :func:`st_intersects`."""
+    return not st_intersects(p, q)
+
+
+def st_touches(p: RectilinearPolygon, q: RectilinearPolygon) -> bool:
+    """OGC ``ST_Touches``: boundaries meet, interiors do not."""
+    if interiors_intersect(p, q):
+        return False
+    return boundaries_touch(p, q)
+
+
+def st_contains(p: RectilinearPolygon, q: RectilinearPolygon) -> bool:
+    """OGC ``ST_Contains``: every pixel of ``q`` lies inside ``p``.
+
+    Uses the area identity from paper §3.4: ``q`` is contained when
+    ``area(p n q) == area(q)``.
+    """
+    if not p.mbr.contains_box(q.mbr):
+        return False
+    return intersection_area(p, q) == q.area
+
+
+def st_within(p: RectilinearPolygon, q: RectilinearPolygon) -> bool:
+    """OGC ``ST_Within`` — the converse of :func:`st_contains`."""
+    return st_contains(q, p)
+
+
+def st_equals(p: RectilinearPolygon, q: RectilinearPolygon) -> bool:
+    """OGC ``ST_Equals``: the polygons cover exactly the same pixels."""
+    if p.area != q.area:
+        return False
+    return intersection_area(p, q) == p.area
+
+
+# ----------------------------------------------------------------------
+# Edge-family touch tests
+# ----------------------------------------------------------------------
+def _perpendicular_touch(vertical: np.ndarray, horizontal: np.ndarray) -> bool:
+    """Any vertical edge meets any horizontal edge (closed intervals)?"""
+    if len(vertical) == 0 or len(horizontal) == 0:
+        return False
+    vx = vertical[:, 0][:, None]
+    v_lo = vertical[:, 1][:, None]
+    v_hi = vertical[:, 2][:, None]
+    hy = horizontal[:, 0][None, :]
+    h_lo = horizontal[:, 1][None, :]
+    h_hi = horizontal[:, 2][None, :]
+    hit = (h_lo <= vx) & (vx <= h_hi) & (v_lo <= hy) & (hy <= v_hi)
+    return bool(hit.any())
+
+
+def _parallel_touch(a: np.ndarray, b: np.ndarray) -> bool:
+    """Any two collinear parallel edges share at least a point?"""
+    if len(a) == 0 or len(b) == 0:
+        return False
+    same_line = a[:, 0][:, None] == b[:, 0][None, :]
+    overlap = (a[:, 1][:, None] <= b[:, 2][None, :]) & (
+        b[:, 1][None, :] <= a[:, 2][:, None]
+    )
+    return bool((same_line & overlap).any())

@@ -1,0 +1,151 @@
+"""Rectangle-set regions — the result geometry of exact boolean overlay.
+
+``ST_Intersection``/``ST_Union`` in the SDBMS baseline return a
+:class:`RectRegion`: a set of pairwise-disjoint axis-aligned rectangles.
+A region is closed under the boolean algebra implemented in
+:mod:`repro.exact.boolean` and knows its exact pixel area, which is what
+``ST_Area`` consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.box import Box
+from repro.geometry.polygon import RectilinearPolygon
+from repro.exact.decompose import decompose, decompose_edges
+
+__all__ = ["RectRegion"]
+
+
+class RectRegion:
+    """An immutable region represented as disjoint rectangles.
+
+    The rectangle list is an implementation detail: two regions covering
+    the same pixels are equal even when their rectangle lists differ,
+    because equality compares the canonical slab normalization.
+    """
+
+    __slots__ = ("_rects", "_area", "_normalized")
+
+    def __init__(self, rects: Iterable[Box], _normalized: bool = False) -> None:
+        self._rects = tuple(rects)
+        self._area: int | None = None
+        self._normalized = _normalized
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "RectRegion":
+        """The region covering no pixels."""
+        return cls((), _normalized=True)
+
+    @classmethod
+    def from_polygon(cls, polygon: RectilinearPolygon) -> "RectRegion":
+        """Slab decomposition of a polygon."""
+        return cls(decompose(polygon), _normalized=True)
+
+    @classmethod
+    def from_box(cls, box: Box) -> "RectRegion":
+        """A single-rectangle region."""
+        return cls((box,), _normalized=True)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def rects(self) -> tuple[Box, ...]:
+        """The disjoint rectangles making up the region."""
+        return self._rects
+
+    def __iter__(self) -> Iterator[Box]:
+        return iter(self._rects)
+
+    def __len__(self) -> int:
+        return len(self._rects)
+
+    def __bool__(self) -> bool:
+        return bool(self._rects)
+
+    @property
+    def area(self) -> int:
+        """Exact number of pixels covered."""
+        if self._area is None:
+            self._area = sum(r.size for r in self._rects)
+        return self._area
+
+    @property
+    def mbr(self) -> Box | None:
+        """Bounding box, or ``None`` for the empty region."""
+        if not self._rects:
+            return None
+        return Box(
+            min(r.x0 for r in self._rects),
+            min(r.y0 for r in self._rects),
+            max(r.x1 for r in self._rects),
+            max(r.y1 for r in self._rects),
+        )
+
+    def contains_pixel(self, x: int, y: int) -> bool:
+        """Membership test for a single pixel."""
+        return any(r.contains_pixel(x, y) for r in self._rects)
+
+    def to_mask(self, box: Box) -> np.ndarray:
+        """Boolean mask of the region clipped to ``box``."""
+        out = np.zeros((box.height, box.width), dtype=bool)
+        for r in self._rects:
+            clip = r.intersect(box)
+            if clip is not None:
+                out[
+                    clip.y0 - box.y0 : clip.y1 - box.y0,
+                    clip.x0 - box.x0 : clip.x1 - box.x0,
+                ] = True
+        return out
+
+    # ------------------------------------------------------------------
+    # Canonical form & equality
+    # ------------------------------------------------------------------
+    def normalized(self) -> "RectRegion":
+        """Canonical slab form: equal regions normalize identically."""
+        if self._normalized:
+            return self
+        edges: list[tuple[int, int, int]] = []
+        for r in self._rects:
+            edges.append((r.x0, r.y0, r.y1))
+            edges.append((r.x1, r.y0, r.y1))
+        # The rects are disjoint but may share edges; coincident left/right
+        # edges cancel under the even-odd pairing in decompose_edges, so
+        # feeding the raw edge multiset yields the merged canonical form.
+        return RectRegion(decompose_edges(edges), _normalized=True)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RectRegion):
+            return NotImplemented
+        return self.normalized().rects == other.normalized().rects
+
+    def __hash__(self) -> int:
+        return hash(self.normalized().rects)
+
+    def __repr__(self) -> str:
+        return f"RectRegion({len(self._rects)} rects, area={self.area})"
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate_disjoint(self) -> None:
+        """Raise :class:`GeometryError` when two rectangles overlap.
+
+        O(n^2); meant for tests and debugging, not hot paths.
+        """
+        rects = self._rects
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                if rects[i].intersects(rects[j]):
+                    raise GeometryError(
+                        f"rectangles {i} and {j} overlap: "
+                        f"{rects[i]} vs {rects[j]}"
+                    )

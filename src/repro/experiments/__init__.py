@@ -1,0 +1,21 @@
+"""Experiment harness: one module per paper table/figure.
+
+Use :func:`repro.experiments.registry.run_experiment` or the CLI
+(``repro run fig7``).  Each module documents the paper's expected result
+in its docstring and in the returned ``paper_expectation``.
+"""
+
+from repro.experiments import (  # noqa: F401 - re-exported for the registry
+    common,
+    fig2_profiling,
+    fig7_speedup,
+    fig8_sampling,
+    fig9_optimizations,
+    fig10_threshold,
+    fig11_migration,
+    fig12_datasets,
+    table1_pipeline,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]

@@ -1,0 +1,54 @@
+"""Figure 7: GEOS vs PixelBox-CPU-S vs PixelBox on all filtered pairs.
+
+Paper result: computing areas of intersection and union for 619,609
+filtered pairs takes GEOS over 430 s on one core; PixelBox-CPU-S reduces
+that to ~290 s (algorithmic improvement alone, ~1.5x); PixelBox on the
+GTX 580 finishes in 3.6 s — two orders of magnitude over GEOS.
+"""
+
+from __future__ import annotations
+
+from repro.exact.boolean import intersection_area
+from repro.experiments.common import (
+    ExperimentResult,
+    representative_pairs,
+    time_call,
+)
+from repro.pixelbox.api import batch_areas
+from repro.pixelbox.cpu import PixelBoxCpu
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True) -> ExperimentResult:
+    """Time the three implementation tiers on the same pair workload."""
+    pairs = representative_pairs(quick, limit=400 if quick else None)
+
+    def geos_baseline() -> None:
+        for p, q in pairs:
+            intersection_area(p, q)
+
+    cpu = PixelBoxCpu(mode="scalar", workers=1)
+
+    t_geos = time_call(geos_baseline, repeats=1 if quick else 2)
+    t_cpu = time_call(lambda: cpu.compute_many(pairs), repeats=1 if quick else 2)
+    t_gpu = time_call(lambda: batch_areas(pairs), repeats=3)
+
+    rows = [
+        ["GEOS (exact overlay)", t_geos, 1.0],
+        ["PixelBox-CPU-S", t_cpu, t_geos / t_cpu],
+        ["PixelBox (device)", t_gpu, t_geos / t_gpu],
+    ]
+    return ExperimentResult(
+        name="Figure 7 — areas of intersection/union over all filtered pairs",
+        headers=["implementation", "seconds", "speedup vs GEOS"],
+        rows=rows,
+        paper_expectation=(
+            "GEOS 430 s; PixelBox-CPU-S 290 s (1.5x); PixelBox 3.6 s (~120x)"
+        ),
+        notes=[
+            f"workload: {len(pairs)} MBR-intersecting pairs",
+            "absolute times are NumPy-substrate-scaled; the ordering and "
+            "orders-of-magnitude gap are the reproduced shape",
+        ],
+    )

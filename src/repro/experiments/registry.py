@@ -1,0 +1,45 @@
+"""Experiment registry: one entry per paper table/figure."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    fig2_profiling,
+    fig7_speedup,
+    fig8_sampling,
+    fig9_optimizations,
+    fig10_threshold,
+    fig11_migration,
+    fig12_datasets,
+    table1_pipeline,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_names"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig2": fig2_profiling.run,
+    "fig7": fig7_speedup.run,
+    "fig8": fig8_sampling.run,
+    "fig9": fig9_optimizations.run,
+    "fig10": fig10_threshold.run,
+    "table1": table1_pipeline.run,
+    "fig11": fig11_migration.run,
+    "fig12": fig12_datasets.run,
+}
+
+
+def experiment_names() -> list[str]:
+    """All registered experiment ids, in paper order."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(name: str, quick: bool = True) -> ExperimentResult:
+    """Run one experiment by id (``fig2`` ... ``fig12``, ``table1``)."""
+    if name not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}"
+        )
+    return EXPERIMENTS[name](quick=quick)

@@ -1,0 +1,174 @@
+"""Axis-aligned integer boxes (MBRs and sampling boxes).
+
+Coordinate model
+----------------
+The whole library works on the pixel grid of the source image.  A *pixel*
+``(x, y)`` is the half-open unit cell ``[x, x+1) x [y, y+1)`` whose center is
+``(x + 0.5, y + 0.5)``.  A :class:`Box` with corners ``(x0, y0, x1, y1)``
+covers the pixels ``x0 <= x < x1`` and ``y0 <= y < y1``; geometrically it is
+the rectangle ``[x0, x1] x [y0, y1]``.  Under this convention the number of
+pixels inside a box is ``width * height`` and boxes tile the plane without
+double counting.
+
+Boxes are immutable value objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GeometryError
+
+__all__ = ["Box"]
+
+
+@dataclass(frozen=True, slots=True)
+class Box:
+    """A non-empty axis-aligned box on the pixel grid."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.y1 <= self.y0:
+            raise GeometryError(
+                f"box must have positive extent, got ({self.x0}, {self.y0}, "
+                f"{self.x1}, {self.y1})"
+            )
+
+    # ------------------------------------------------------------------
+    # Size queries
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Extent along x, in pixels."""
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        """Extent along y, in pixels."""
+        return self.y1 - self.y0
+
+    @property
+    def size(self) -> int:
+        """Number of pixels covered — ``BoxSize`` in the paper's Algorithm 1."""
+        return self.width * self.height
+
+    @property
+    def center_pixel(self) -> tuple[int, int]:
+        """The pixel containing the geometric center of the box.
+
+        Lemma 1 tests the *geometric center*; since polygon boundaries run
+        along integer grid lines, the center pixel's center point
+        ``(cx + 0.5, cy + 0.5)`` is strictly off every boundary line, which
+        removes all degenerate cases from the parity test.
+        """
+        return (self.x0 + self.width // 2, self.y0 + self.height // 2)
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+    def intersect(self, other: "Box") -> "Box | None":
+        """Intersection with ``other``, or ``None`` when they share no pixel."""
+        x0 = max(self.x0, other.x0)
+        y0 = max(self.y0, other.y0)
+        x1 = min(self.x1, other.x1)
+        y1 = min(self.y1, other.y1)
+        if x1 <= x0 or y1 <= y0:
+            return None
+        return Box(x0, y0, x1, y1)
+
+    def intersects(self, other: "Box") -> bool:
+        """MBR-overlap predicate — PostGIS's ``&&`` operator."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def intersects_or_touches(self, other: "Box") -> bool:
+        """Closed-rectangle overlap: true even when only edges/corners meet.
+
+        This is the MBR pre-filter for the OGC ``ST_Intersects`` predicate,
+        whose semantics include boundary contact.
+        """
+        return (
+            self.x0 <= other.x1
+            and other.x0 <= self.x1
+            and self.y0 <= other.y1
+            and other.y0 <= self.y1
+        )
+
+    def cover(self, other: "Box") -> "Box":
+        """Smallest box containing both operands (MBR union)."""
+        return Box(
+            min(self.x0, other.x0),
+            min(self.y0, other.y0),
+            max(self.x1, other.x1),
+            max(self.y1, other.y1),
+        )
+
+    def contains_box(self, other: "Box") -> bool:
+        """True when every pixel of ``other`` is covered by ``self``."""
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and other.x1 <= self.x1
+            and other.y1 <= self.y1
+        )
+
+    def contains_pixel(self, x: int, y: int) -> bool:
+        """True when pixel ``(x, y)`` lies inside the box."""
+        return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
+
+    # ------------------------------------------------------------------
+    # Subdivision (sampling boxes)
+    # ------------------------------------------------------------------
+    def split(self, nx: int, ny: int) -> list["Box"]:
+        """Partition into at most ``nx * ny`` non-empty sub-boxes.
+
+        This is ``SubSampBox`` from Algorithm 1: the box is divided into a
+        near-uniform ``nx x ny`` grid.  When the box is narrower than the
+        requested grid the degenerate slices are dropped, so the returned
+        boxes always tile ``self`` exactly.
+        """
+        if nx <= 0 or ny <= 0:
+            raise GeometryError(f"split grid must be positive, got {nx}x{ny}")
+        xs = _cuts(self.x0, self.x1, nx)
+        ys = _cuts(self.y0, self.y1, ny)
+        return [
+            Box(xs[i], ys[j], xs[i + 1], ys[j + 1])
+            for j in range(len(ys) - 1)
+            for i in range(len(xs) - 1)
+        ]
+
+    def translate(self, dx: int, dy: int) -> "Box":
+        """The box shifted by ``(dx, dy)``."""
+        return Box(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def scale(self, factor: int) -> "Box":
+        """The box with all corner coordinates multiplied by ``factor``."""
+        if factor <= 0:
+            raise GeometryError(f"scale factor must be positive, got {factor}")
+        return Box(
+            self.x0 * factor, self.y0 * factor, self.x1 * factor, self.y1 * factor
+        )
+
+    def as_tuple(self) -> tuple[int, int, int, int]:
+        """``(x0, y0, x1, y1)`` as a plain tuple."""
+        return (self.x0, self.y0, self.x1, self.y1)
+
+
+def _cuts(lo: int, hi: int, parts: int) -> list[int]:
+    """Split ``[lo, hi)`` into at most ``parts`` non-empty integer ranges.
+
+    Uses the proportional cut ``lo + i * span // parts`` — the same
+    formula as the array-based splitter in
+    :mod:`repro.pixelbox.vectorized`, so every implementation produces an
+    identical subdivision tree.
+    """
+    span = hi - lo
+    return sorted({lo + (i * span) // parts for i in range(parts + 1)})

@@ -1,0 +1,260 @@
+"""Rectilinear polygons with integer vertices.
+
+Polygons segmented from raster pathology images are a special form of
+rectilinear polygon (paper §3.1): vertex coordinates are integers and every
+edge is horizontal or vertical, because the segmented boundary follows pixel
+grid lines.  This module is the library-wide representation of such
+polygons.
+
+A polygon is stored as a closed ring of ``n`` vertices (the closing edge
+from the last vertex back to the first is implicit).  Counter-clockwise
+rings have positive signed area; the mask tracer in
+:mod:`repro.geometry.raster` produces counter-clockwise outer rings.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import RectilinearityError, RingClosureError
+from repro.geometry.box import Box
+
+__all__ = ["RectilinearPolygon"]
+
+
+class RectilinearPolygon:
+    """An immutable simple rectilinear polygon on the pixel grid.
+
+    Parameters
+    ----------
+    vertices:
+        Sequence of ``(x, y)`` integer pairs or an ``(n, 2)`` array.  The
+        ring must not repeat the first vertex at the end; consecutive
+        vertices (including last -> first) must differ in exactly one
+        coordinate, and edge directions must alternate between horizontal
+        and vertical.
+    validate:
+        Skip structural validation when ``False`` — used internally by
+        constructors that produce rings that are correct by construction.
+    """
+
+    __slots__ = ("_vertices", "__dict__")
+
+    def __init__(
+        self, vertices: Sequence[tuple[int, int]] | np.ndarray, validate: bool = True
+    ) -> None:
+        arr = np.asarray(vertices, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise RingClosureError(
+                f"vertices must be an (n, 2) array, got shape {arr.shape}"
+            )
+        arr = arr.copy()
+        arr.setflags(write=False)
+        self._vertices = arr
+        if validate:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        v = self._vertices
+        n = len(v)
+        if n < 4:
+            raise RingClosureError(f"a rectilinear ring needs >= 4 vertices, got {n}")
+        if bool(np.array_equal(v[0], v[-1])):
+            # Rings are implicitly closed; an explicit closing vertex is the
+            # most common input error and would create a zero-length edge.
+            # Re-visiting a vertex elsewhere is legal: the boundary of a
+            # pinched region passes through its pinch vertex twice.
+            raise RingClosureError(
+                "ring must not repeat the first vertex at the end "
+                "(rings are implicitly closed)"
+            )
+        if n % 2 != 0:
+            raise RectilinearityError(
+                f"a rectilinear ring has an even vertex count, got {n}"
+            )
+        deltas = np.roll(v, -1, axis=0) - v
+        moves_x = deltas[:, 0] != 0
+        moves_y = deltas[:, 1] != 0
+        if np.any(moves_x & moves_y):
+            bad = int(np.flatnonzero(moves_x & moves_y)[0])
+            raise RectilinearityError(f"edge starting at vertex {bad} is diagonal")
+        if np.any(~moves_x & ~moves_y):
+            bad = int(np.flatnonzero(~moves_x & ~moves_y)[0])
+            raise RectilinearityError(f"edge starting at vertex {bad} has zero length")
+        if np.any(moves_x == np.roll(moves_x, -1)):
+            bad = int(np.flatnonzero(moves_x == np.roll(moves_x, -1))[0])
+            raise RectilinearityError(
+                f"edges around vertex {bad} do not alternate horizontal/vertical"
+            )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> np.ndarray:
+        """Read-only ``(n, 2)`` int64 vertex array."""
+        return self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        for x, y in self._vertices:
+            yield (int(x), int(y))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RectilinearPolygon):
+            return NotImplemented
+        return self._vertices.shape == other._vertices.shape and bool(
+            np.array_equal(self._vertices, other._vertices)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._vertices.tobytes())
+
+    def __repr__(self) -> str:
+        return (
+            f"RectilinearPolygon({len(self)} vertices, area={self.area}, "
+            f"mbr={self.mbr.as_tuple()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Derived geometry
+    # ------------------------------------------------------------------
+    @cached_property
+    def signed_area(self) -> int:
+        """Shoelace signed area; positive for counter-clockwise rings.
+
+        This is ``PolyArea`` from Algorithm 1:
+        ``A = 1/2 * sum(x_i * y_{i+1} - x_{i+1} * y_i)``.  For rectilinear
+        integer rings the doubled sum is always even, so the result is an
+        exact integer equal to the number of pixels enclosed (signed).
+        """
+        v = self._vertices
+        x, y = v[:, 0], v[:, 1]
+        x2, y2 = np.roll(x, -1), np.roll(y, -1)
+        doubled = np.sum(x * y2 - x2 * y, dtype=np.int64)
+        return int(doubled) // 2
+
+    @cached_property
+    def area(self) -> int:
+        """Unsigned area in pixels — ``ST_Area`` of this polygon."""
+        return abs(self.signed_area)
+
+    @cached_property
+    def mbr(self) -> Box:
+        """Minimum bounding rectangle."""
+        v = self._vertices
+        return Box(
+            int(v[:, 0].min()),
+            int(v[:, 1].min()),
+            int(v[:, 0].max()),
+            int(v[:, 1].max()),
+        )
+
+    @cached_property
+    def vertical_edges(self) -> np.ndarray:
+        """``(k, 3)`` array of vertical edges as ``(x, y_lo, y_hi)``.
+
+        ``y_lo < y_hi`` regardless of the ring's traversal direction.  Only
+        vertical edges matter for the horizontal-ray parity test used
+        throughout the library.
+        """
+        v = self._vertices
+        w = np.roll(v, -1, axis=0)
+        is_vert = v[:, 0] == w[:, 0]
+        xs = v[is_vert, 0]
+        y_a, y_b = v[is_vert, 1], w[is_vert, 1]
+        return np.column_stack([xs, np.minimum(y_a, y_b), np.maximum(y_a, y_b)])
+
+    @cached_property
+    def horizontal_edges(self) -> np.ndarray:
+        """``(k, 3)`` array of horizontal edges as ``(y, x_lo, x_hi)``."""
+        v = self._vertices
+        w = np.roll(v, -1, axis=0)
+        is_horz = v[:, 1] == w[:, 1]
+        ys = v[is_horz, 1]
+        x_a, x_b = v[is_horz, 0], w[is_horz, 0]
+        return np.column_stack([ys, np.minimum(x_a, x_b), np.maximum(x_a, x_b)])
+
+    @property
+    def orientation(self) -> int:
+        """``+1`` for counter-clockwise rings, ``-1`` for clockwise."""
+        return 1 if self.signed_area > 0 else -1
+
+    # ------------------------------------------------------------------
+    # Point queries
+    # ------------------------------------------------------------------
+    def contains_pixel(self, x: int, y: int) -> bool:
+        """Parity (ray-casting) test for the pixel ``(x, y)``.
+
+        A horizontal ray is cast from the pixel center ``(x+0.5, y+0.5)``
+        towards ``-x`` and crossings with vertical edges are counted
+        (paper §3.1 / Figure 4(b)).  Centers sit strictly between grid
+        lines, so a crossing with edge ``(xe, y_lo, y_hi)`` happens exactly
+        when ``xe <= x`` and ``y_lo <= y < y_hi`` — no degenerate cases.
+        """
+        edges = self.vertical_edges
+        hit = (edges[:, 0] <= x) & (edges[:, 1] <= y) & (y < edges[:, 2])
+        return bool(np.count_nonzero(hit) % 2)
+
+    def contains_point(self, px: float, py: float) -> bool:
+        """Parity test for an arbitrary point strictly off the grid lines."""
+        edges = self.vertical_edges
+        hit = (edges[:, 0] < px) & (edges[:, 1] < py) & (py < edges[:, 2])
+        return bool(np.count_nonzero(hit) % 2)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def translate(self, dx: int, dy: int) -> "RectilinearPolygon":
+        """The polygon shifted by ``(dx, dy)``."""
+        return RectilinearPolygon(
+            self._vertices + np.array([dx, dy], dtype=np.int64), validate=False
+        )
+
+    def scale(self, factor: int) -> "RectilinearPolygon":
+        """Multiply every coordinate by ``factor``.
+
+        This is the paper's §5.2 "scale factor" stress transformation: a
+        factor of ``s`` grows the pixel count by ``s**2`` while keeping the
+        vertex count unchanged.
+        """
+        if factor <= 0:
+            raise RectilinearityError(f"scale factor must be positive, got {factor}")
+        return RectilinearPolygon(self._vertices * np.int64(factor), validate=False)
+
+    def reversed(self) -> "RectilinearPolygon":
+        """The same ring traversed in the opposite direction."""
+        return RectilinearPolygon(self._vertices[::-1], validate=False)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_box(cls, box: Box) -> "RectilinearPolygon":
+        """The counter-clockwise rectangle ring covering ``box``."""
+        return cls(
+            [
+                (box.x0, box.y0),
+                (box.x1, box.y0),
+                (box.x1, box.y1),
+                (box.x0, box.y1),
+            ],
+            validate=False,
+        )
+
+    @classmethod
+    def from_pairs(cls, flat: Iterable[int]) -> "RectilinearPolygon":
+        """Build from a flat ``x0 y0 x1 y1 ...`` coordinate iterable."""
+        coords = list(flat)
+        if len(coords) % 2 != 0:
+            raise RingClosureError("flat coordinate list has odd length")
+        arr = np.asarray(coords, dtype=np.int64).reshape(-1, 2)
+        return cls(arr)

@@ -1,0 +1,74 @@
+"""Minimal Well-Known-Text support for rectilinear polygons.
+
+The paper's raw data are text polygon files; pathology toolchains exchange
+them as WKT ``POLYGON`` literals (the PostGIS loader in §2.2 consumes the
+same).  Only single-ring ``POLYGON`` geometries with integer coordinates
+are supported — exactly the shapes this library works with.
+"""
+
+from __future__ import annotations
+
+import re
+
+import numpy as np
+
+from repro.errors import WktError
+from repro.geometry.polygon import RectilinearPolygon
+
+__all__ = ["polygon_to_wkt", "polygon_from_wkt"]
+
+_WKT_RE = re.compile(
+    r"^\s*POLYGON\s*\(\s*\(\s*(?P<body>[-0-9,.\s]+?)\s*\)\s*\)\s*$",
+    re.IGNORECASE,
+)
+
+
+def polygon_to_wkt(polygon: RectilinearPolygon) -> str:
+    """Serialize to ``POLYGON ((x y, x y, ...))`` with an explicit closure.
+
+    WKT rings repeat the first vertex at the end; the library's internal
+    representation does not, so the closing vertex is added here and
+    stripped again by :func:`polygon_from_wkt`.
+    """
+    coords = ", ".join(f"{x} {y}" for x, y in polygon)
+    first = polygon.vertices[0]
+    return f"POLYGON (({coords}, {int(first[0])} {int(first[1])}))"
+
+
+def polygon_from_wkt(text: str) -> RectilinearPolygon:
+    """Parse a single-ring ``POLYGON`` WKT literal.
+
+    Raises
+    ------
+    WktError
+        On malformed syntax, non-integer coordinates, unclosed rings, or
+        multi-ring polygons.
+    """
+    match = _WKT_RE.match(text)
+    if match is None:
+        if re.search(r"\)\s*,\s*\(", text):
+            raise WktError("multi-ring POLYGON geometries are not supported")
+        raise WktError(f"not a POLYGON WKT literal: {text[:60]!r}")
+    pairs = []
+    for token in match.group("body").split(","):
+        parts = token.split()
+        if len(parts) != 2:
+            raise WktError(f"bad coordinate pair {token!r}")
+        try:
+            x, y = (_as_int(parts[0]), _as_int(parts[1]))
+        except ValueError as exc:
+            raise WktError(f"non-integer coordinate in {token!r}") from exc
+        pairs.append((x, y))
+    if len(pairs) < 5:
+        raise WktError(f"ring needs >= 4 distinct vertices, got {len(pairs) - 1}")
+    if pairs[0] != pairs[-1]:
+        raise WktError("WKT ring is not closed (first vertex != last vertex)")
+    return RectilinearPolygon(np.asarray(pairs[:-1], dtype=np.int64))
+
+
+def _as_int(token: str) -> int:
+    """Parse an integer, accepting the ``12.0`` float spelling."""
+    value = float(token)
+    if not value.is_integer():
+        raise ValueError(token)
+    return int(value)

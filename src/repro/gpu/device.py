@@ -1,0 +1,63 @@
+"""Device models for the SIMT simulator.
+
+The paper evaluates on an NVIDIA GTX 580 (Fermi GF110) and Tesla M2050
+(Fermi GF100).  The simulator needs only the architectural parameters
+that the paper's optimizations interact with: warp width, shared-memory
+banking, SM count and occupancy limits, and the latency gap between
+global and shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+__all__ = ["DeviceSpec", "GTX580", "TESLA_M2050"]
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceSpec:
+    """Architectural parameters of a simulated GPU."""
+
+    name: str
+    sm_count: int
+    warp_size: int = 32
+    max_threads_per_sm: int = 1536
+    max_blocks_per_sm: int = 8
+    shared_mem_banks: int = 32
+    shared_mem_per_sm: int = 48 * 1024
+    clock_mhz: int = 1500
+    # Amortized cycle cost of one global-memory access (latency partially
+    # hidden by warp interleaving) vs a conflict-free shared access.
+    global_access_cycles: int = 2
+    shared_access_cycles: int = 1
+    sync_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        if self.sm_count < 1:
+            raise DeviceError(f"sm_count must be >= 1, got {self.sm_count}")
+        if self.warp_size < 1:
+            raise DeviceError(f"warp_size must be >= 1, got {self.warp_size}")
+        if self.shared_mem_banks < 1:
+            raise DeviceError("shared_mem_banks must be >= 1")
+
+    def blocks_resident(self, block_size: int, shared_bytes: int) -> int:
+        """Concurrent blocks per SM under thread/block/shared-mem limits.
+
+        This is the occupancy calculation behind the paper's §5.4
+        observation that block sizes >= 256 degrade performance: fewer
+        blocks fit per multiprocessor and partitioning gets coarser.
+        """
+        if block_size < 1:
+            raise DeviceError(f"block size must be >= 1, got {block_size}")
+        by_threads = self.max_threads_per_sm // block_size
+        by_shared = (
+            self.shared_mem_per_sm // shared_bytes if shared_bytes > 0 else
+            self.max_blocks_per_sm
+        )
+        return max(1, min(by_threads, by_shared, self.max_blocks_per_sm))
+
+
+GTX580 = DeviceSpec(name="GeForce GTX 580", sm_count=16, clock_mhz=1544)
+TESLA_M2050 = DeviceSpec(name="Tesla M2050", sm_count=14, clock_mhz=1150)

@@ -1,0 +1,61 @@
+"""Shared-memory bank-conflict model.
+
+Fermi shared memory is striped across 32 four-byte banks; a warp's access
+is serialized by the maximum number of *distinct words* that fall in the
+same bank (threads reading the same word broadcast for free).  The
+PixelBox implementation detail this model captures: pushing sampling
+boxes as array-of-structures records makes every thread hit the same few
+banks (stride = padded record size), while the paper's five separate
+sub-stacks (structure-of-arrays) give stride-1, conflict-free pushes
+(§3.3, "Avoid memory bank conflicts").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.errors import DeviceError
+
+__all__ = ["conflict_ways", "aos_push_addresses", "soa_push_addresses",
+           "SAMPLING_BOX_WORDS", "AOS_RECORD_WORDS"]
+
+# A sampling-box record: x0, y0, x1, y1, continue-flag.
+SAMPLING_BOX_WORDS = 5
+# AoS records are padded to the next power of two for aligned access.
+AOS_RECORD_WORDS = 8
+
+
+def conflict_ways(addresses: Iterable[int], banks: int = 32) -> int:
+    """Serialization factor of one warp access (1 = conflict-free).
+
+    ``addresses`` are word addresses, one per active thread.  Words in the
+    same bank serialize unless they are the *same* word (broadcast).
+    """
+    if banks < 1:
+        raise DeviceError(f"banks must be >= 1, got {banks}")
+    per_bank: dict[int, set[int]] = defaultdict(set)
+    for addr in addresses:
+        per_bank[addr % banks].add(addr)
+    if not per_bank:
+        return 1
+    return max(len(words) for words in per_bank.values())
+
+
+def aos_push_addresses(warp_size: int, field: int) -> list[int]:
+    """Word addresses when thread ``t`` writes field ``field`` of record ``t``.
+
+    Array-of-structures layout: record ``t`` starts at ``t * 8`` (padded),
+    so a warp writing one field strides by 8 words — a 8-way conflict on a
+    32-bank device.
+    """
+    return [t * AOS_RECORD_WORDS + field for t in range(warp_size)]
+
+
+def soa_push_addresses(warp_size: int, field: int, capacity: int = 1024) -> list[int]:
+    """Word addresses with five separate sub-stacks (structure-of-arrays).
+
+    Field ``f`` lives in its own array; thread ``t`` writes word
+    ``f * capacity + t`` — stride 1 within the warp, conflict-free.
+    """
+    return [field * capacity + t for t in range(warp_size)]

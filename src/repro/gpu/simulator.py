@@ -1,0 +1,97 @@
+"""Device-level scheduling: blocks onto multiprocessors, cycles into time.
+
+One polygon pair is one thread block (Algorithm 1).  Blocks are assigned
+to the least-loaded SM; each SM interleaves the blocks resident on it, so
+its wall cycles are its total block cycles divided by how many blocks fit
+concurrently (the occupancy limit).  Device time is the busiest SM's wall
+cycles over the clock — a makespan model, sufficient for the normalized
+comparisons the experiments make.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.gpu.cost import CostModel, CycleBreakdown, OptimizationFlags
+from repro.gpu.device import DeviceSpec
+from repro.gpu.simt_kernel import BlockCounts
+from repro.pixelbox.common import LaunchConfig
+
+__all__ = ["SimtReport", "simulate_device"]
+
+# Shared memory per block: the sampling-box stack (five sub-stacks) plus
+# staged vertex data when that optimization is on.
+_STACK_BYTES = 4 * 1024
+_VERTEX_STAGE_BYTES = 1024
+
+
+@dataclass(frozen=True, slots=True)
+class SimtReport:
+    """Outcome of simulating one kernel launch."""
+
+    variant: str
+    blocks: int
+    total_cycles: float
+    device_ms: float
+    occupancy: int
+    breakdown: CycleBreakdown
+
+    def __str__(self) -> str:
+        return (
+            f"{self.variant}: {self.blocks} blocks, "
+            f"{self.total_cycles:,.0f} cycles, {self.device_ms:.3f} ms "
+            f"(occupancy {self.occupancy} blocks/SM)"
+        )
+
+
+def simulate_device(
+    counts: list[BlockCounts],
+    device: DeviceSpec,
+    flags: OptimizationFlags,
+    config: LaunchConfig | None = None,
+) -> SimtReport:
+    """Schedule one launch and convert cycles to device milliseconds."""
+    cfg = config or LaunchConfig()
+    if not counts:
+        raise DeviceError("cannot simulate an empty launch")
+    model = CostModel(device, flags)
+    shared_bytes = _STACK_BYTES + (
+        _VERTEX_STAGE_BYTES if flags.shared_mem_vertices else 0
+    )
+    occupancy = device.blocks_resident(cfg.block_size, shared_bytes)
+
+    breakdown = CycleBreakdown()
+    block_cycles: list[float] = []
+    for block in counts:
+        cycles = CycleBreakdown()
+        cycles.add(model.vertex_staging(block.edges))
+        cycles.add(model.edge_loop(block.vertex_ops, 1))
+        cycles.add(model.edge_loop(block.pixel_iterations, block.edges))
+        cycles.add(model.edge_loop(block.classify_steps, block.edges))
+        cycles.add(model.stack_push(block.warp_pushes))
+        cycles.add(model.stack_pop(block.pops))
+        cycles.add(model.synchronize(block.syncs))
+        block_cycles.append(cycles.total)
+        breakdown.add(cycles)
+
+    # Greedy makespan: each block goes to the least-loaded SM.
+    sm_loads = [0.0] * device.sm_count
+    heap = [(0.0, i) for i in range(device.sm_count)]
+    heapq.heapify(heap)
+    for cycles in sorted(block_cycles, reverse=True):
+        load, idx = heapq.heappop(heap)
+        load += cycles
+        sm_loads[idx] = load
+        heapq.heappush(heap, (load, idx))
+    makespan = max(sm_loads) / occupancy
+    device_ms = makespan / (device.clock_mhz * 1e3)
+    return SimtReport(
+        variant=flags.label,
+        blocks=len(counts),
+        total_cycles=breakdown.total,
+        device_ms=device_ms,
+        occupancy=occupancy,
+        breakdown=breakdown,
+    )

@@ -1,0 +1,73 @@
+"""Hilbert R-tree bulk loading (Kamel & Faloutsos, VLDB'94).
+
+The pipeline's builder stage indexes every parsed tile with this loader
+(paper §4.1: "Since polygons are small, Hilbert R-Tree is used to
+accelerate index building").  Entries are sorted by the Hilbert key of
+their MBR center and packed bottom-up into full nodes, producing a
+balanced tree in O(n log n) with excellent leaf clustering for the
+MBR-join that follows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box
+from repro.geometry.polygon import RectilinearPolygon
+from repro.index.hilbert import hilbert_keys
+from repro.index.rtree import DEFAULT_FANOUT, RTree, RTreeNode
+
+__all__ = ["bulk_load", "bulk_load_polygons", "DEFAULT_ORDER"]
+
+# 2^17 = 131072 cells per axis — covers whole-slide images (~100k pixels).
+DEFAULT_ORDER = 17
+
+
+def bulk_load(
+    boxes: list[Box],
+    fanout: int = DEFAULT_FANOUT,
+    order: int = DEFAULT_ORDER,
+) -> RTree:
+    """Build a packed R-tree over ``boxes`` (payloads are list indices)."""
+    tree = RTree(fanout=fanout)
+    if not boxes:
+        return tree
+    cx = np.array([(b.x0 + b.x1) // 2 for b in boxes], dtype=np.int64)
+    cy = np.array([(b.y0 + b.y1) // 2 for b in boxes], dtype=np.int64)
+    keys = hilbert_keys(order, cx, cy)
+    rank = np.argsort(keys, kind="stable")
+
+    # Pack leaves in Hilbert order.
+    level: list[RTreeNode] = []
+    for lo in range(0, len(rank), fanout):
+        idx = rank[lo : lo + fanout]
+        node = RTreeNode(
+            is_leaf=True, entries=[(boxes[int(i)], int(i)) for i in idx]
+        )
+        node.recompute_mbr()
+        level.append(node)
+
+    # Pack parents bottom-up until a single root remains.
+    while len(level) > 1:
+        parents: list[RTreeNode] = []
+        for lo in range(0, len(level), fanout):
+            node = RTreeNode(is_leaf=False, children=level[lo : lo + fanout])
+            node.recompute_mbr()
+            parents.append(node)
+        level = parents
+
+    tree.root = level[0]
+    tree._size = len(boxes)
+    return tree
+
+
+def bulk_load_polygons(
+    polygons: list[RectilinearPolygon],
+    fanout: int = DEFAULT_FANOUT,
+    order: int = DEFAULT_ORDER,
+) -> RTree:
+    """Bulk-load the MBRs of ``polygons`` (payload ``i`` = polygon ``i``)."""
+    if fanout < 4:
+        raise IndexError_(f"fanout must be >= 4, got {fanout}")
+    return bulk_load([p.mbr for p in polygons], fanout=fanout, order=order)

@@ -1,0 +1,234 @@
+"""R-tree over integer boxes: search, insertion, and validation.
+
+The filter stage performs MBR-overlap joins (the ``&&`` operator of the
+optimized query, Figure 1(b)); the SDBMS uses the same tree for its
+GiST-style index scans.  Bulk loading in Hilbert order lives in
+:mod:`repro.index.hilbert_rtree`; this module is the tree structure
+itself plus a classic quadratic-split insert path for incremental use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import IndexError_
+from repro.geometry.box import Box
+
+__all__ = ["RTree", "RTreeNode", "DEFAULT_FANOUT"]
+
+DEFAULT_FANOUT = 16
+
+
+@dataclass(slots=True)
+class RTreeNode:
+    """One R-tree node; leaves store ``(box, payload)`` entries."""
+
+    is_leaf: bool
+    mbr: Box | None = None
+    children: list["RTreeNode"] = field(default_factory=list)
+    entries: list[tuple[Box, int]] = field(default_factory=list)
+
+    def recompute_mbr(self) -> None:
+        """Tighten the node MBR over its children/entries."""
+        boxes: list[Box]
+        if self.is_leaf:
+            boxes = [b for b, _ in self.entries]
+        else:
+            boxes = [c.mbr for c in self.children if c.mbr is not None]
+        if not boxes:
+            self.mbr = None
+            return
+        mbr = boxes[0]
+        for box in boxes[1:]:
+            mbr = mbr.cover(box)
+        self.mbr = mbr
+
+
+class RTree:
+    """An R-tree keyed by :class:`~repro.geometry.box.Box` with int payloads.
+
+    >>> tree = RTree()
+    >>> tree.insert(Box(0, 0, 2, 2), 0)
+    >>> tree.insert(Box(5, 5, 8, 8), 1)
+    >>> tree.search(Box(1, 1, 6, 6))
+    [0, 1]
+    """
+
+    def __init__(self, fanout: int = DEFAULT_FANOUT) -> None:
+        if fanout < 4:
+            raise IndexError_(f"fanout must be >= 4, got {fanout}")
+        self.fanout = fanout
+        self.root = RTreeNode(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def search(self, box: Box) -> list[int]:
+        """Payloads whose boxes overlap ``box`` (the ``&&`` test), sorted."""
+        out: list[int] = []
+        self._search(self.root, box, out)
+        out.sort()
+        return out
+
+    def _search(self, node: RTreeNode, box: Box, out: list[int]) -> None:
+        if node.mbr is None or not node.mbr.intersects(box):
+            return
+        if node.is_leaf:
+            out.extend(pid for b, pid in node.entries if b.intersects(box))
+            return
+        for child in node.children:
+            self._search(child, box, out)
+
+    def iter_leaf_entries(self) -> Iterator[tuple[Box, int]]:
+        """All ``(box, payload)`` entries, tree order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.children)
+
+    @property
+    def height(self) -> int:
+        """Number of levels (1 for a single leaf root)."""
+        levels = 1
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            levels += 1
+        return levels
+
+    # ------------------------------------------------------------------
+    # Insertion (quadratic split)
+    # ------------------------------------------------------------------
+    def insert(self, box: Box, payload: int) -> None:
+        """Insert one entry, splitting nodes that exceed the fanout."""
+        split = self._insert(self.root, box, payload)
+        if split is not None:
+            old_root = self.root
+            self.root = RTreeNode(is_leaf=False, children=[old_root, split])
+            self.root.recompute_mbr()
+        self._size += 1
+
+    def _insert(self, node: RTreeNode, box: Box, payload: int) -> RTreeNode | None:
+        if node.is_leaf:
+            node.entries.append((box, payload))
+            node.mbr = box if node.mbr is None else node.mbr.cover(box)
+            if len(node.entries) > self.fanout:
+                return self._split_leaf(node)
+            return None
+        child = _choose_subtree(node.children, box)
+        split = self._insert(child, box, payload)
+        node.mbr = box if node.mbr is None else node.mbr.cover(box)
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self.fanout:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: RTreeNode) -> RTreeNode:
+        groups = _quadratic_split(node.entries, key=lambda e: e[0])
+        node.entries = groups[0]
+        node.recompute_mbr()
+        other = RTreeNode(is_leaf=True, entries=groups[1])
+        other.recompute_mbr()
+        return other
+
+    def _split_internal(self, node: RTreeNode) -> RTreeNode:
+        groups = _quadratic_split(node.children, key=lambda c: c.mbr)
+        node.children = groups[0]
+        node.recompute_mbr()
+        other = RTreeNode(is_leaf=False, children=groups[1])
+        other.recompute_mbr()
+        return other
+
+    # ------------------------------------------------------------------
+    # Validation (tests/debugging)
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check MBR containment and leaf-depth uniformity."""
+        depths: set[int] = set()
+        self._validate(self.root, 1, depths)
+        if len(depths) > 1:
+            raise IndexError_(f"leaves at different depths: {sorted(depths)}")
+
+    def _validate(self, node: RTreeNode, depth: int, depths: set[int]) -> None:
+        if node.is_leaf:
+            depths.add(depth)
+            for box, _ in node.entries:
+                if node.mbr is None or not node.mbr.contains_box(box):
+                    raise IndexError_("leaf MBR does not cover an entry")
+            return
+        if not node.children:
+            raise IndexError_("internal node with no children")
+        for child in node.children:
+            if child.mbr is not None:
+                if node.mbr is None or not node.mbr.contains_box(child.mbr):
+                    raise IndexError_("node MBR does not cover a child")
+            self._validate(child, depth + 1, depths)
+
+
+def _enlargement(mbr: Box, box: Box) -> int:
+    """Area growth of ``mbr`` if extended to cover ``box``."""
+    return mbr.cover(box).size - mbr.size
+
+
+def _choose_subtree(children: list[RTreeNode], box: Box) -> RTreeNode:
+    """Guttman's ChooseLeaf: least enlargement, ties by smaller area."""
+    best = None
+    best_key: tuple[int, int] | None = None
+    for child in children:
+        if child.mbr is None:
+            continue
+        key = (_enlargement(child.mbr, box), child.mbr.size)
+        if best_key is None or key < best_key:
+            best, best_key = child, key
+    if best is None:
+        raise IndexError_("internal node with no usable children")
+    return best
+
+
+def _quadratic_split(items: list, key) -> tuple[list, list]:
+    """Guttman's quadratic split into two balanced groups."""
+    if len(items) < 2:
+        raise IndexError_("cannot split fewer than two items")
+    # Pick the two seeds wasting the most area if grouped together.
+    worst = -1
+    seeds = (0, 1)
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            waste = key(items[i]).cover(key(items[j])).size
+            waste -= key(items[i]).size + key(items[j]).size
+            if waste > worst:
+                worst, seeds = waste, (i, j)
+    group_a = [items[seeds[0]]]
+    group_b = [items[seeds[1]]]
+    mbr_a = key(items[seeds[0]])
+    mbr_b = key(items[seeds[1]])
+    rest = [it for k, it in enumerate(items) if k not in seeds]
+    min_fill = max(1, len(items) // 3)
+    for item in rest:
+        remaining = len(rest) - (len(group_a) + len(group_b) - 2)
+        if len(group_a) + remaining <= min_fill:
+            group_a.append(item)
+            mbr_a = mbr_a.cover(key(item))
+            continue
+        if len(group_b) + remaining <= min_fill:
+            group_b.append(item)
+            mbr_b = mbr_b.cover(key(item))
+            continue
+        grow_a = _enlargement(mbr_a, key(item))
+        grow_b = _enlargement(mbr_b, key(item))
+        if grow_a < grow_b or (grow_a == grow_b and mbr_a.size <= mbr_b.size):
+            group_a.append(item)
+            mbr_a = mbr_a.cover(key(item))
+        else:
+            group_b.append(item)
+            mbr_b = mbr_b.cover(key(item))
+    return group_a, group_b

@@ -1,0 +1,31 @@
+"""GPU-Parser: the parser stage ported to the device (paper §4.2).
+
+The paper ports text parsing to the GPU so the migrator can move parser
+tasks onto an idle device; it notes the GPU parser's performance "is only
+comparable to its CPU counterpart since text parsing requires
+implementing a finite state machine".  Our device analog matches: the
+parsing kernel is the same vectorized tokenizer the CPU uses, plus the
+device's per-launch overhead — so migrating parser work to the GPU pays
+off only when the device would otherwise sit idle, which is exactly the
+condition the migrator checks.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.geometry.polygon import RectilinearPolygon
+from repro.io.parser_cpu import parse_vectorized
+
+__all__ = ["gpu_parse"]
+
+
+def gpu_parse(raw: bytes | str | Path) -> list[RectilinearPolygon]:
+    """Parse polygon text on the device (kernel body).
+
+    The pipeline always invokes this through
+    :class:`repro.pipeline.device.GpuDevice`, which serializes access and
+    charges the launch overhead; calling it directly is equivalent to a
+    zero-overhead launch.
+    """
+    return parse_vectorized(raw)

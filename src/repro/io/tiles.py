@@ -1,0 +1,78 @@
+"""Dataset directory layout: images, segmentation results, tile files.
+
+The paper's data layout (§2.1): a whole-slide image is pre-partitioned
+into tiles; each segmentation run produces one polygon file per tile; a
+*result set* (one directory) groups the tile files of one algorithm run;
+cross-comparison pairs up the tile files of two result sets of the same
+image.
+
+Layout produced by the synthetic generator and consumed by the pipeline::
+
+    <dataset_root>/
+        result_a/ tile_0000.txt  tile_0001.txt ...
+        result_b/ tile_0000.txt  tile_0001.txt ...
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import DatasetError
+
+__all__ = ["TilePair", "tile_name", "list_tile_files", "pair_result_sets"]
+
+_TILE_RE = re.compile(r"^tile_(\d+)\.txt$")
+
+
+@dataclass(frozen=True, slots=True)
+class TilePair:
+    """The two polygon files segmented from the same tile."""
+
+    tile_id: int
+    file_a: Path
+    file_b: Path
+
+
+def tile_name(tile_id: int) -> str:
+    """Canonical tile file name."""
+    if tile_id < 0:
+        raise DatasetError(f"tile id must be non-negative, got {tile_id}")
+    return f"tile_{tile_id:04d}.txt"
+
+
+def list_tile_files(result_dir: str | Path) -> dict[int, Path]:
+    """Map tile id -> polygon file for one result set."""
+    result_dir = Path(result_dir)
+    if not result_dir.is_dir():
+        raise DatasetError(f"result set directory not found: {result_dir}")
+    out: dict[int, Path] = {}
+    for path in sorted(result_dir.iterdir()):
+        match = _TILE_RE.match(path.name)
+        if match:
+            out[int(match.group(1))] = path
+    if not out:
+        raise DatasetError(f"no tile files in {result_dir}")
+    return out
+
+
+def pair_result_sets(
+    dir_a: str | Path, dir_b: str | Path, strict: bool = True
+) -> list[TilePair]:
+    """Pair up the tile files of two result sets of the same image.
+
+    With ``strict`` (default) the two sets must cover exactly the same
+    tiles; otherwise the intersection is paired and extras are dropped.
+    """
+    tiles_a = list_tile_files(dir_a)
+    tiles_b = list_tile_files(dir_b)
+    if strict and set(tiles_a) != set(tiles_b):
+        only_a = sorted(set(tiles_a) - set(tiles_b))[:5]
+        only_b = sorted(set(tiles_b) - set(tiles_a))[:5]
+        raise DatasetError(
+            f"result sets cover different tiles (a-only {only_a}, "
+            f"b-only {only_b})"
+        )
+    common = sorted(set(tiles_a) & set(tiles_b))
+    return [TilePair(t, tiles_a[t], tiles_b[t]) for t in common]

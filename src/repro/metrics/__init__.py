@@ -1,0 +1,15 @@
+"""Similarity metrics for cross-comparing segmentation results."""
+
+from repro.metrics.jaccard import (
+    PairwiseJaccard,
+    jaccard_from_areas,
+    jaccard_global,
+    jaccard_pairwise,
+)
+
+__all__ = [
+    "PairwiseJaccard",
+    "jaccard_pairwise",
+    "jaccard_from_areas",
+    "jaccard_global",
+]

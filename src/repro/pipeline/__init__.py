@@ -1,0 +1,39 @@
+"""The SCCG pipelined framework with dynamic task migration (paper §4)."""
+
+from repro.pipeline.buffers import BoundedBuffer, BufferStats
+from repro.pipeline.device import DeviceStats, GpuDevice
+from repro.pipeline.engine import (
+    PipelineOptions,
+    PipelineOutcome,
+    run_nopipe_multi,
+    run_nopipe_single,
+    run_pipelined,
+)
+from repro.pipeline.migration import MigrationConfig
+from repro.pipeline.stages import StageTimers
+from repro.pipeline.tasks import (
+    BuiltTile,
+    FilteredBatch,
+    ParsedTile,
+    ParseTask,
+    TileResult,
+)
+
+__all__ = [
+    "BoundedBuffer",
+    "BufferStats",
+    "GpuDevice",
+    "DeviceStats",
+    "PipelineOptions",
+    "PipelineOutcome",
+    "run_pipelined",
+    "run_nopipe_single",
+    "run_nopipe_multi",
+    "MigrationConfig",
+    "StageTimers",
+    "ParseTask",
+    "ParsedTile",
+    "BuiltTile",
+    "FilteredBatch",
+    "TileResult",
+]

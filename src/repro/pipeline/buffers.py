@@ -1,0 +1,164 @@
+"""Bounded inter-stage buffers with watermark signalling.
+
+The work buffers between pipeline stages do double duty in the paper
+(§4.2): they decouple producers from consumers, and their fill level is
+the application-level load signal the migrator reads — a *full*
+aggregator input buffer means the GPU is congested, an *empty* one means
+it is under-utilized.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from repro.errors import BufferClosedError, PipelineError
+
+__all__ = ["BoundedBuffer", "BufferStats", "Closed"]
+
+T = TypeVar("T")
+
+
+class Closed:
+    """Sentinel returned by :meth:`BoundedBuffer.get` after shutdown."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<Closed>"
+
+
+CLOSED = Closed()
+
+
+@dataclass(slots=True)
+class BufferStats:
+    """Counters exposed for experiments and tests."""
+
+    puts: int = 0
+    gets: int = 0
+    full_events: int = 0
+    empty_events: int = 0
+    max_depth: int = 0
+
+
+class BoundedBuffer(Generic[T]):
+    """A bounded FIFO with close semantics and full/empty watermarks.
+
+    Unlike :class:`queue.Queue`, a closed buffer unblocks every waiter
+    (producers raise, consumers drain then receive :data:`CLOSED`), and
+    the fill level is observable through :meth:`is_full` / :meth:`is_empty`
+    plus event counters — the signals the migration component consumes.
+    """
+
+    def __init__(self, capacity: int, name: str = "buffer") -> None:
+        if capacity < 1:
+            raise PipelineError(f"buffer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.name = name
+        self.stats = BufferStats()
+        self._items: deque[T] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def put(self, item: T, timeout: float | None = None) -> None:
+        """Append ``item``, blocking while the buffer is full."""
+        with self._not_full:
+            if self._closed:
+                raise BufferClosedError(f"{self.name}: put() after close()")
+            if len(self._items) >= self.capacity:
+                self.stats.full_events += 1
+                ok = self._not_full.wait_for(
+                    lambda: self._closed or len(self._items) < self.capacity,
+                    timeout,
+                )
+                if not ok:
+                    raise PipelineError(f"{self.name}: put() timed out")
+                if self._closed:
+                    raise BufferClosedError(f"{self.name}: closed while putting")
+            self._items.append(item)
+            self.stats.puts += 1
+            self.stats.max_depth = max(self.stats.max_depth, len(self._items))
+            self._not_empty.notify()
+
+    def close(self) -> None:
+        """Mark end-of-stream; waiting consumers drain and stop."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def get(self, timeout: float | None = None) -> T | Closed:
+        """Pop the oldest item; :data:`CLOSED` once drained and closed."""
+        with self._not_empty:
+            if not self._items and not self._closed:
+                self.stats.empty_events += 1
+            ok = self._not_empty.wait_for(
+                lambda: self._items or self._closed, timeout
+            )
+            if not ok:
+                raise PipelineError(f"{self.name}: get() timed out")
+            if self._items:
+                self.stats.gets += 1
+                item = self._items.popleft()
+                self._not_full.notify()
+                return item
+            return CLOSED
+
+    def try_get(self) -> T | None:
+        """Non-blocking pop (``None`` when empty); used by the migrator."""
+        with self._lock:
+            if not self._items:
+                return None
+            self.stats.gets += 1
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def steal_smallest(self, key) -> T | None:
+        """Remove and return the smallest item by ``key`` (migration).
+
+        The paper's migrator "selects the smallest tasks from the input
+        buffer of the aggregator" so the CPU path absorbs cheap work while
+        the GPU keeps the large batches.
+        """
+        with self._lock:
+            if not self._items:
+                return None
+            best_pos = min(range(len(self._items)), key=lambda i: key(self._items[i]))
+            self._items.rotate(-best_pos)
+            item = self._items.popleft()
+            self._items.rotate(best_pos)
+            self.stats.gets += 1
+            self._not_full.notify()
+            return item
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def is_full(self) -> bool:
+        """Watermark: buffer at capacity (GPU congestion signal)."""
+        with self._lock:
+            return len(self._items) >= self.capacity
+
+    def is_empty(self) -> bool:
+        """Watermark: buffer drained (GPU idleness signal)."""
+        with self._lock:
+            return not self._items
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed

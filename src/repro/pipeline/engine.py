@@ -1,0 +1,385 @@
+"""Pipeline assembly and the three execution schemes of Table 1.
+
+* :func:`run_pipelined` — the full SCCG pipeline: four stages over
+  bounded buffers, one aggregator consolidating GPU access, optional
+  dynamic task migration.
+* :func:`run_nopipe_single` — NoPipe-S: the four stages executed
+  sequentially per tile in one stream.
+* :func:`run_nopipe_multi` — NoPipe-M: several independent NoPipe-S
+  streams sharing the device(s) without coordination (the scheme whose
+  GPU lock contention the paper measures at ~50% CPU utilization).
+
+All schemes produce identical similarity results; only the execution
+topology differs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.index.hilbert_rtree import bulk_load_polygons
+from repro.io.parser_cpu import parse_vectorized
+from repro.io.tiles import pair_result_sets
+from repro.pipeline.buffers import BoundedBuffer
+from repro.pipeline.device import GpuDevice
+from repro.pipeline.migration import (
+    MigrationConfig,
+    aggregator_migrator,
+    parser_migrator,
+)
+from repro.pipeline.stages import (
+    StageTimers,
+    aggregator_worker,
+    builder_worker,
+    filter_worker,
+    parser_worker,
+    split_batch_results,
+)
+from repro.pipeline.tasks import FilteredBatch, ParseTask, TileResult
+from repro.pixelbox.common import LaunchConfig
+
+__all__ = [
+    "PipelineOptions",
+    "PipelineOutcome",
+    "run_pipelined",
+    "run_nopipe_single",
+    "run_nopipe_multi",
+]
+
+
+@dataclass(slots=True)
+class PipelineOptions:
+    """Configuration of one pipeline run."""
+
+    parser_workers: int = 2
+    buffer_capacity: int = 8
+    batch_pairs: int = 4096
+    launch_config: LaunchConfig = field(
+        default_factory=lambda: LaunchConfig(tight_mbr=True)
+    )
+    devices: list[GpuDevice] | None = None
+    migration: MigrationConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.parser_workers < 1:
+            raise PipelineError("parser_workers must be >= 1")
+        if self.batch_pairs < 1:
+            raise PipelineError("batch_pairs must be >= 1")
+
+    def make_devices(self) -> list[GpuDevice]:
+        """The device list (freshly created default when unset)."""
+        return self.devices if self.devices else [GpuDevice()]
+
+
+@dataclass(slots=True)
+class PipelineOutcome:
+    """Merged result + performance accounting of one run."""
+
+    jaccard_mean: float
+    intersecting_pairs: int
+    candidate_pairs: int
+    missing_a: int
+    missing_b: int
+    count_a: int
+    count_b: int
+    tiles: int
+    wall_seconds: float
+    input_bytes: int
+    timers: StageTimers
+    device_stats: list[tuple[str, float, float, int]]
+
+    @property
+    def throughput(self) -> float:
+        """Bytes of raw input per second (the paper's §5.6 metric)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.input_bytes / self.wall_seconds
+
+
+def _collect(results: list[TileResult], wall: float, timers: StageTimers,
+             devices: list[GpuDevice]) -> PipelineOutcome:
+    """Merge per-tile partial results into the final outcome."""
+    by_tile: dict[int, list[TileResult]] = {}
+    for result in results:
+        by_tile.setdefault(result.tile_id, []).append(result)
+    ratio_sum = sum(r.ratio_sum for r in results)
+    pairs = sum(r.intersecting_pairs for r in results)
+    candidates = sum(r.candidate_pairs for r in results)
+    missing_a = missing_b = count_a = count_b = 0
+    for tile_results in by_tile.values():
+        matched_a: set[int] = set()
+        matched_b: set[int] = set()
+        for r in tile_results:
+            matched_a |= r.matched_a
+            matched_b |= r.matched_b
+        count_a += tile_results[0].count_a
+        count_b += tile_results[0].count_b
+        missing_a += tile_results[0].count_a - len(matched_a)
+        missing_b += tile_results[0].count_b - len(matched_b)
+    return PipelineOutcome(
+        jaccard_mean=ratio_sum / pairs if pairs else 0.0,
+        intersecting_pairs=pairs,
+        candidate_pairs=candidates,
+        missing_a=missing_a,
+        missing_b=missing_b,
+        count_a=count_a,
+        count_b=count_b,
+        tiles=len(by_tile),
+        wall_seconds=wall,
+        input_bytes=sum(r.input_bytes for r in results),
+        timers=timers,
+        device_stats=[
+            (d.name, d.stats.busy_seconds, d.stats.lock_wait_seconds,
+             d.stats.launches + d.stats.parse_launches)
+            for d in devices
+        ],
+    )
+
+
+def _make_parse_tasks(dir_a: str | Path, dir_b: str | Path) -> list[ParseTask]:
+    return [
+        ParseTask(pair.tile_id, pair.file_a, pair.file_b)
+        for pair in pair_result_sets(dir_a, dir_b)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Pipelined scheme
+# ----------------------------------------------------------------------
+def run_pipelined(
+    dir_a: str | Path,
+    dir_b: str | Path,
+    options: PipelineOptions | None = None,
+) -> PipelineOutcome:
+    """Run the full SCCG pipeline over two result-set directories."""
+    opts = options or PipelineOptions()
+    devices = opts.make_devices()
+    tasks = _make_parse_tasks(dir_a, dir_b)
+    timers = StageTimers()
+
+    parse_in: BoundedBuffer[ParseTask] = BoundedBuffer(
+        max(len(tasks), 1), "parse_in"
+    )
+    parsed = BoundedBuffer(opts.buffer_capacity, "parsed")
+    built = BoundedBuffer(opts.buffer_capacity, "built")
+    batches = BoundedBuffer(opts.buffer_capacity, "batches")
+    results: BoundedBuffer[TileResult] = BoundedBuffer(
+        max(len(tasks) * 4, 16), "results"
+    )
+    for task in tasks:
+        parse_in.put(task)
+    parse_in.close()
+
+    failures: list[BaseException] = []
+
+    def guarded(fn, *args):
+        def run():
+            try:
+                fn(*args)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                failures.append(exc)
+                for buf in (parsed, built, batches, results):
+                    buf.close()
+        return run
+
+    stop_migration = threading.Event()
+    parser_threads = [
+        threading.Thread(
+            target=guarded(parser_worker, parse_in, parsed, timers),
+            name=f"parser-{i}",
+            daemon=True,
+        )
+        for i in range(opts.parser_workers)
+    ]
+    builder_thread = threading.Thread(
+        target=guarded(builder_worker, parsed, built, timers),
+        name="builder",
+        daemon=True,
+    )
+    filter_thread = threading.Thread(
+        target=guarded(filter_worker, built, batches, timers),
+        name="filter",
+        daemon=True,
+    )
+    aggregator_thread = threading.Thread(
+        target=guarded(
+            aggregator_worker, batches, results, devices,
+            opts.launch_config, opts.batch_pairs, timers,
+        ),
+        name="aggregator",
+        daemon=True,
+    )
+    migration_threads: list[threading.Thread] = []
+    if opts.migration is not None:
+        migration_threads = [
+            threading.Thread(
+                target=guarded(
+                    aggregator_migrator, batches, results,
+                    opts.launch_config, opts.migration, timers,
+                    stop_migration,
+                ),
+                name="migrator-aggregator",
+                daemon=True,
+            ),
+            threading.Thread(
+                target=guarded(
+                    parser_migrator, parse_in, parsed, batches, devices,
+                    opts.migration, timers, stop_migration,
+                ),
+                name="migrator-parser",
+                daemon=True,
+            ),
+        ]
+
+    start = time.perf_counter()
+    for thread in (
+        parser_threads
+        + [builder_thread, filter_thread, aggregator_thread]
+        + migration_threads
+    ):
+        thread.start()
+
+    for thread in parser_threads:
+        thread.join()
+    if migration_threads:
+        migration_threads[1].join()  # parser migrator drains parse_in too
+    parsed.close()
+    builder_thread.join()
+    built.close()
+    filter_thread.join()
+    batches.close()
+    aggregator_thread.join()
+    if migration_threads:
+        stop_migration.set()
+        migration_threads[0].join()
+    results.close()
+    wall = time.perf_counter() - start
+
+    if failures:
+        raise PipelineError("pipeline stage failed") from failures[0]
+
+    collected: list[TileResult] = []
+    while True:
+        item = results.try_get()
+        if item is None:
+            break
+        collected.append(item)
+    return _collect(collected, wall, timers, devices)
+
+
+# ----------------------------------------------------------------------
+# Non-pipelined schemes
+# ----------------------------------------------------------------------
+def _process_tile_sequential(
+    task: ParseTask,
+    devices: list[GpuDevice],
+    config: LaunchConfig,
+    timers: StageTimers,
+    cursor: int,
+) -> TileResult:
+    """All four stages inline for one tile (one NoPipe iteration)."""
+    t0 = time.perf_counter()
+    polygons_a = parse_vectorized(task.file_a.read_bytes())
+    polygons_b = parse_vectorized(task.file_b.read_bytes())
+    timers.add("parser", time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    index = bulk_load_polygons(polygons_b)
+    timers.add("builder", time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    lefts: list[int] = []
+    rights: list[int] = []
+    pairs = []
+    for i, poly in enumerate(polygons_a):
+        for j in index.search(poly.mbr):
+            lefts.append(i)
+            rights.append(j)
+            pairs.append((poly, polygons_b[j]))
+    batch = FilteredBatch(
+        tile_id=task.tile_id,
+        pairs=pairs,
+        left_idx=np.asarray(lefts, dtype=np.int64),
+        right_idx=np.asarray(rights, dtype=np.int64),
+        count_a=len(polygons_a),
+        count_b=len(polygons_b),
+        input_bytes=task.input_bytes,
+    )
+    timers.add("filter", time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    device = devices[cursor % len(devices)]
+    areas = device.run_aggregate(batch.pairs, config)
+    result = split_batch_results([batch], areas, executed_on=device.name)[0]
+    timers.add("aggregator", time.perf_counter() - t0)
+    return result
+
+
+def run_nopipe_single(
+    dir_a: str | Path,
+    dir_b: str | Path,
+    options: PipelineOptions | None = None,
+) -> PipelineOutcome:
+    """NoPipe-S: one stream, stages executed sequentially per tile."""
+    opts = options or PipelineOptions()
+    devices = opts.make_devices()
+    tasks = _make_parse_tasks(dir_a, dir_b)
+    timers = StageTimers()
+    start = time.perf_counter()
+    results = [
+        _process_tile_sequential(task, devices, opts.launch_config, timers, k)
+        for k, task in enumerate(tasks)
+    ]
+    wall = time.perf_counter() - start
+    return _collect(results, wall, timers, devices)
+
+
+def run_nopipe_multi(
+    dir_a: str | Path,
+    dir_b: str | Path,
+    options: PipelineOptions | None = None,
+    streams: int = 4,
+) -> PipelineOutcome:
+    """NoPipe-M: ``streams`` uncoordinated NoPipe-S streams, shared GPU."""
+    if streams < 1:
+        raise PipelineError(f"streams must be >= 1, got {streams}")
+    opts = options or PipelineOptions()
+    devices = opts.make_devices()
+    tasks = _make_parse_tasks(dir_a, dir_b)
+    timers = StageTimers()
+    results: list[TileResult] = []
+    results_lock = threading.Lock()
+    failures: list[BaseException] = []
+
+    def stream_body(my_tasks: list[ParseTask]) -> None:
+        try:
+            local = [
+                _process_tile_sequential(
+                    task, devices, opts.launch_config, timers, k
+                )
+                for k, task in enumerate(my_tasks)
+            ]
+            with results_lock:
+                results.extend(local)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            failures.append(exc)
+
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=stream_body, args=(tasks[i::streams],), daemon=True)
+        for i in range(streams)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    if failures:
+        raise PipelineError("NoPipe-M stream failed") from failures[0]
+    return _collect(results, wall, timers, devices)

@@ -1,0 +1,117 @@
+"""Dynamic task migration between CPUs and GPUs (paper §4.2).
+
+Two background migration threads sleep until the aggregator's input
+buffer hits a watermark:
+
+* **GPU congested** (buffer full): the aggregator migrator steals the
+  *smallest* batches from the aggregator's input and executes them with
+  PixelBox-CPU on worker threads, feeding results directly to the
+  collector.
+* **GPU idle** (buffer empty): the parser migrator steals parse tasks
+  from the parser's input and runs them through the GPU-Parser kernel,
+  feeding parsed tiles back into the builder's input.
+
+Both threads poll the watermarks at millisecond granularity — the
+"usually stay in the sleeping state and are only woken up" behaviour of
+the paper's implementation, without platform-specific futexes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import MigrationError
+from repro.pipeline.buffers import BoundedBuffer
+from repro.pipeline.device import GpuDevice
+from repro.pipeline.stages import StageTimers, split_batch_results
+from repro.pipeline.tasks import FilteredBatch, ParsedTile, ParseTask, TileResult
+from repro.pixelbox.common import LaunchConfig
+from repro.pixelbox.cpu import PixelBoxCpu
+
+__all__ = ["MigrationConfig", "aggregator_migrator", "parser_migrator"]
+
+_POLL_SECONDS = 0.002
+
+
+@dataclass(frozen=True, slots=True)
+class MigrationConfig:
+    """Tuning knobs of the migration component."""
+
+    cpu_workers: int = 2
+    poll_seconds: float = _POLL_SECONDS
+
+    def __post_init__(self) -> None:
+        if self.cpu_workers < 1:
+            raise MigrationError(
+                f"cpu_workers must be >= 1, got {self.cpu_workers}"
+            )
+        if self.poll_seconds <= 0:
+            raise MigrationError("poll interval must be positive")
+
+
+def aggregator_migrator(
+    batches_in: BoundedBuffer[FilteredBatch],
+    results_out: BoundedBuffer[TileResult],
+    config: LaunchConfig,
+    migration: MigrationConfig,
+    timers: StageTimers,
+    stop: threading.Event,
+) -> None:
+    """GPU-to-CPU migration: absorb small batches when the GPU clogs."""
+    cpu = PixelBoxCpu(mode="vector", workers=migration.cpu_workers, config=config)
+    while not stop.is_set():
+        if batches_in.closed and batches_in.is_empty():
+            return
+        if not batches_in.is_full():
+            time.sleep(migration.poll_seconds)
+            continue
+        batch = batches_in.steal_smallest(key=lambda b: b.size)
+        if batch is None:
+            continue
+        t0 = time.perf_counter()
+        areas = cpu.compute_many(batch.pairs)
+        for result in split_batch_results([batch], areas, executed_on="cpu"):
+            results_out.put(result)
+        timers.add("aggregator", time.perf_counter() - t0)
+        timers.migrated_cpu_tasks += 1
+
+
+def parser_migrator(
+    parse_in: BoundedBuffer[ParseTask],
+    parsed_out: BoundedBuffer[ParsedTile],
+    batches_in: BoundedBuffer[FilteredBatch],
+    devices: list[GpuDevice],
+    migration: MigrationConfig,
+    timers: StageTimers,
+    stop: threading.Event,
+) -> None:
+    """CPU-to-GPU migration: parse on an idle device.
+
+    The idleness signal is the paper's: the aggregator's input buffer ran
+    empty, meaning the GPUs are starved for work.
+    """
+    while not stop.is_set():
+        if parse_in.closed and parse_in.is_empty():
+            return
+        if not batches_in.is_empty():
+            time.sleep(migration.poll_seconds)
+            continue
+        device = next((d for d in devices if d.try_acquire_idle()), None)
+        if device is None:
+            time.sleep(migration.poll_seconds)
+            continue
+        task = parse_in.try_get()
+        if task is None:
+            time.sleep(migration.poll_seconds)
+            continue
+        t0 = time.perf_counter()
+        polygons_a = device.run_parse(task.file_a)
+        polygons_b = device.run_parse(task.file_b)
+        tile = ParsedTile(
+            task.tile_id, polygons_a, polygons_b, task.input_bytes
+        )
+        timers.add("parser", time.perf_counter() - t0)
+        timers.migrated_gpu_tasks += 1
+        parsed_out.put(tile)

@@ -1,0 +1,78 @@
+"""PixelBox — the paper's core contribution.
+
+Computes exact areas of intersection and union of rectilinear polygon
+pairs without constructing overlay geometry, by combining per-pixel
+crossing-parity tests (pixelization) with a recursive sampling-box
+subdivision whose positions are decided by Lemma 1.
+
+Implementations, from fastest to most faithful:
+
+* :func:`batch_areas` — stacked NumPy kernel, many pairs per launch (the
+  simulated device's production path);
+* :func:`variant_areas` / :func:`pair_areas` — per-pair NumPy engine with
+  selectable variant (PixelOnly / NoSep / PixelBox);
+* :class:`PixelBoxCpu` — the CPU port (scalar or vector mode);
+* :class:`ReferenceKernel` — a line-by-line transcription of the paper's
+  Algorithm 1 including the shared-stack discipline.
+"""
+
+from repro.pixelbox.api import batch_areas, pair_areas, variant_areas
+from repro.pixelbox.batch import BATCH_MAX_DIM, compute_batch
+from repro.pixelbox.common import (
+    DEFAULT_BLOCK_SIZE,
+    BoxPosition,
+    KernelStats,
+    LaunchConfig,
+    Method,
+    PairAreas,
+    split_grid,
+)
+from repro.pixelbox.cpu import PixelBoxCpu, pair_areas_scalar
+from repro.pixelbox.engine import BatchAreas, compute_pair, compute_pairs
+from repro.pixelbox.operators import (
+    contains_pixelbox,
+    equals_pixelbox,
+    intersects_pixelbox,
+    touches_pixelbox,
+)
+from repro.pixelbox.reference import ReferenceKernel, StackTrace
+from repro.pixelbox.sampling import (
+    box_contribute,
+    box_continue,
+    box_position,
+    box_positions_vectorized,
+    nosep_continue,
+    nosep_contribution,
+)
+
+__all__ = [
+    "pair_areas",
+    "batch_areas",
+    "variant_areas",
+    "compute_pair",
+    "compute_pairs",
+    "compute_batch",
+    "BatchAreas",
+    "PairAreas",
+    "KernelStats",
+    "LaunchConfig",
+    "Method",
+    "BoxPosition",
+    "split_grid",
+    "DEFAULT_BLOCK_SIZE",
+    "BATCH_MAX_DIM",
+    "PixelBoxCpu",
+    "pair_areas_scalar",
+    "contains_pixelbox",
+    "equals_pixelbox",
+    "intersects_pixelbox",
+    "touches_pixelbox",
+    "ReferenceKernel",
+    "StackTrace",
+    "box_position",
+    "box_positions_vectorized",
+    "box_continue",
+    "box_contribute",
+    "nosep_continue",
+    "nosep_contribution",
+]

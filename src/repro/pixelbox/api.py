@@ -1,0 +1,55 @@
+"""Top-level PixelBox entry points.
+
+Most callers need exactly one of these:
+
+* :func:`pair_areas` — areas for a single polygon pair.
+* :func:`batch_areas` — areas for a list of pairs on the fast batched
+  device kernel (the production path used by the pipeline aggregator).
+* :func:`variant_areas` — areas for a list of pairs with an explicit
+  algorithm variant, used by the evaluation harness to compare
+  PixelOnly / PixelBox-NoSep / PixelBox.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.polygon import RectilinearPolygon
+from repro.pixelbox.batch import compute_batch
+from repro.pixelbox.common import LaunchConfig, Method, PairAreas
+from repro.pixelbox.engine import BatchAreas, compute_pair, compute_pairs
+
+__all__ = ["pair_areas", "batch_areas", "variant_areas"]
+
+
+def pair_areas(
+    p: RectilinearPolygon,
+    q: RectilinearPolygon,
+    method: Method = Method.PIXELBOX,
+    config: LaunchConfig | None = None,
+) -> PairAreas:
+    """Areas of intersection and union for one polygon pair.
+
+    >>> from repro.geometry import Box, RectilinearPolygon
+    >>> a = RectilinearPolygon.from_box(Box(0, 0, 4, 4))
+    >>> b = RectilinearPolygon.from_box(Box(2, 2, 6, 6))
+    >>> res = pair_areas(a, b)
+    >>> (res.intersection, res.union)
+    (4, 28)
+    """
+    return compute_pair(p, q, method, config)
+
+
+def batch_areas(
+    pairs: list[tuple[RectilinearPolygon, RectilinearPolygon]],
+    config: LaunchConfig | None = None,
+) -> BatchAreas:
+    """Areas for many pairs at once on the batched device kernel."""
+    return compute_batch(pairs, config)
+
+
+def variant_areas(
+    pairs: list[tuple[RectilinearPolygon, RectilinearPolygon]],
+    method: Method,
+    config: LaunchConfig | None = None,
+) -> BatchAreas:
+    """Areas for many pairs with an explicit algorithm variant."""
+    return compute_pairs(pairs, method, config)

@@ -1,0 +1,121 @@
+"""Spatial predicates built on PixelBox (paper §3.4's generalization).
+
+The paper sketches how the PixelBox machinery accelerates other
+compute-intensive spatial operators:
+
+* ``ST_Contains(p, q)`` — "computing the area of intersection and testing
+  whether it equals the area of the object being contained";
+* ``ST_Equals`` — both containments, i.e. the intersection equals both
+  areas;
+* ``ST_Touches(p, q)`` — no edge-to-edge crossing, no vertex of one
+  polygon strictly inside the other, and at least one point of contact.
+
+These are drop-in alternatives to the exact-overlay predicates in
+:mod:`repro.exact.predicates`; the test-suite checks they agree on random
+workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.polygon import RectilinearPolygon
+from repro.pixelbox.common import LaunchConfig, Method
+from repro.pixelbox.engine import compute_pair
+
+__all__ = [
+    "contains_pixelbox",
+    "equals_pixelbox",
+    "intersects_pixelbox",
+    "touches_pixelbox",
+]
+
+
+def _intersection_area(
+    p: RectilinearPolygon, q: RectilinearPolygon, config: LaunchConfig | None
+) -> int:
+    cfg = config or LaunchConfig(tight_mbr=True)
+    return compute_pair(p, q, Method.PIXELBOX, cfg).intersection
+
+
+def contains_pixelbox(
+    p: RectilinearPolygon,
+    q: RectilinearPolygon,
+    config: LaunchConfig | None = None,
+) -> bool:
+    """``ST_Contains`` via the §3.4 area identity."""
+    if not p.mbr.contains_box(q.mbr):
+        return False
+    return _intersection_area(p, q, config) == q.area
+
+
+def equals_pixelbox(
+    p: RectilinearPolygon,
+    q: RectilinearPolygon,
+    config: LaunchConfig | None = None,
+) -> bool:
+    """``ST_Equals``: the intersection covers both polygons."""
+    if p.area != q.area or p.mbr != q.mbr:
+        return False
+    return _intersection_area(p, q, config) == p.area
+
+
+def intersects_pixelbox(
+    p: RectilinearPolygon,
+    q: RectilinearPolygon,
+    config: LaunchConfig | None = None,
+) -> bool:
+    """``ST_Intersects`` (closed-set semantics) via areas + edge tests."""
+    if not p.mbr.intersects_or_touches(q.mbr):
+        return False
+    if _intersection_area(p, q, config) > 0:
+        return True
+    return _boundary_contact(p, q)
+
+
+def touches_pixelbox(
+    p: RectilinearPolygon,
+    q: RectilinearPolygon,
+    config: LaunchConfig | None = None,
+) -> bool:
+    """``ST_Touches``: boundaries meet but interiors do not.
+
+    Follows the paper's recipe: interiors disjoint (zero area of
+    intersection) plus at least one edge/vertex contact.
+    """
+    if not p.mbr.intersects_or_touches(q.mbr):
+        return False
+    if _intersection_area(p, q, config) > 0:
+        return False
+    return _boundary_contact(p, q)
+
+
+def _boundary_contact(p: RectilinearPolygon, q: RectilinearPolygon) -> bool:
+    """Closed-segment contact between the two boundaries (vectorized)."""
+    return _family_contact(p.vertical_edges, q.horizontal_edges) or \
+        _family_contact(q.vertical_edges, p.horizontal_edges) or \
+        _collinear_contact(p.vertical_edges, q.vertical_edges) or \
+        _collinear_contact(p.horizontal_edges, q.horizontal_edges)
+
+
+def _family_contact(vertical: np.ndarray, horizontal: np.ndarray) -> bool:
+    if len(vertical) == 0 or len(horizontal) == 0:
+        return False
+    vx = vertical[:, 0][:, None]
+    v_lo = vertical[:, 1][:, None]
+    v_hi = vertical[:, 2][:, None]
+    hy = horizontal[:, 0][None, :]
+    h_lo = horizontal[:, 1][None, :]
+    h_hi = horizontal[:, 2][None, :]
+    hit = (h_lo <= vx) & (vx <= h_hi) & (v_lo <= hy) & (hy <= v_hi)
+    return bool(hit.any())
+
+
+def _collinear_contact(a: np.ndarray, b: np.ndarray) -> bool:
+    if len(a) == 0 or len(b) == 0:
+        return False
+    same = a[:, 0][:, None] == b[:, 0][None, :]
+    overlap = (a[:, 1][:, None] <= b[:, 2][None, :]) & (
+        b[:, 1][None, :] <= a[:, 2][:, None]
+    )
+    return bool((same & overlap).any())

@@ -1,0 +1,153 @@
+"""Line-by-line reference transcription of the paper's Algorithm 1.
+
+This module exists for *fidelity*, not speed: it simulates the
+thread-block execution of the PixelBox GPU kernel — the shared sampling-box
+stack, the per-thread partial accumulators, the "mark the old stack top as
+no-probe instead of overwriting" trick (lines 37-38), and the strided
+pixelization loop — with plain Python loops standing in for threads.
+
+The test-suite uses it two ways: to check that the optimized engines
+compute identical areas, and to check that the stack discipline of
+Algorithm 1 itself is sound (every pushed box is eventually popped, no
+double counting).
+
+Note: line 31-32 of the pseudo-code reads ``BoxPosition(box, ...)``; the
+positions must of course be evaluated on the freshly created *sub*-box
+(``subbox``), which is what both the paper's prose and this transcription
+do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.box import Box
+from repro.geometry.polygon import RectilinearPolygon
+from repro.pixelbox.common import (
+    BoxPosition,
+    LaunchConfig,
+    PairAreas,
+)
+from repro.pixelbox.sampling import box_contribute, box_continue, box_position
+
+__all__ = ["ReferenceKernel", "StackTrace"]
+
+
+@dataclass(slots=True)
+class StackTrace:
+    """Observability hooks for the stack discipline (used by tests)."""
+
+    max_depth: int = 0
+    pushes: int = 0
+    pops: int = 0
+    skipped_markers: int = 0
+    events: list[str] = field(default_factory=list)
+
+
+class ReferenceKernel:
+    """Sequential simulation of one PixelBox thread block.
+
+    Parameters
+    ----------
+    config:
+        Launch configuration; ``block_size`` plays the role of
+        ``blockDim.x``.
+    record_events:
+        When ``True`` the :class:`StackTrace` keeps a textual event log
+        (push/pop/marker) for debugging.
+    """
+
+    def __init__(self, config: LaunchConfig | None = None, record_events: bool = False):
+        self._cfg = config or LaunchConfig()
+        self._record = record_events
+
+    def run_pair(
+        self, p: RectilinearPolygon, q: RectilinearPolygon
+    ) -> tuple[PairAreas, StackTrace]:
+        """Execute Algorithm 1 for a single polygon pair."""
+        cfg = self._cfg
+        n = cfg.block_size
+        trace = StackTrace()
+
+        # Lines 11-12: per-thread partial polygon areas.  PolyArea assigns
+        # ring vertices to threads round-robin; summed they equal the
+        # shoelace area (signed), and the sign cancels in the final
+        # |p| + |q| - |p n q| only if we take absolute values after the
+        # reduction, as the CPU-side reduction in the paper does.
+        area_partials = [0] * n
+        for poly in (p, q):
+            v = poly.vertices
+            count = len(v)
+            for tid in range(n):
+                acc = 0
+                j = tid
+                while j < count:
+                    x_j, y_j = int(v[j][0]), int(v[j][1])
+                    x_k, y_k = int(v[(j + 1) % count][0]), int(v[(j + 1) % count][1])
+                    acc += x_j * y_k - x_k * y_j
+                    j += n
+                area_partials[tid] += acc  # doubled signed partial
+
+        inter_partials = [0] * n
+
+        # Line 13: the pair MBR is the first sampling box.
+        mbr = p.mbr.cover(q.mbr)
+        stack: list[tuple[Box, int]] = [(mbr, 1)]
+        trace.pushes += 1
+        top = 1
+
+        while top > 0:
+            top -= 1
+            box, c = stack[top]
+            trace.pops += 1
+            trace.max_depth = max(trace.max_depth, top + 1)
+            if self._record:
+                trace.events.append(f"pop {box.as_tuple()} c={c}")
+            if c == 0:
+                trace.skipped_markers += 1
+                continue
+
+            if box.size < cfg.threshold or box.size == 1:
+                # Lines 22-28: strided pixelization, one pixel per thread
+                # per round.
+                for tid in range(n):
+                    j = tid
+                    while j < box.size:
+                        px = box.x0 + (j % box.width)
+                        py = box.y0 + (j // box.width)
+                        phi1 = p.contains_pixel(px, py)
+                        phi2 = q.contains_pixel(px, py)
+                        inter_partials[tid] += 1 if (phi1 and phi2) else 0
+                        j += n
+                continue
+
+            # Lines 30-39: each thread takes one sub-box.
+            nx, ny = cfg.grid
+            children = box.split(nx, ny)
+            # Line 38: the old top stays in place as a no-probe marker
+            # (stack[top].c = 0); threads skip it when it is popped again.
+            del stack[top:]
+            stack.append((box, 0))
+            if self._record:
+                trace.events.append(f"mark {box.as_tuple()}")
+            # Line 37: each thread pushes its sub-box above the old top
+            # (stack[top + 1 + tid]) without overwriting it.
+            for tid, subbox in enumerate(children):
+                phi1 = box_position(subbox, p)
+                phi2 = box_position(subbox, q)
+                cont = 1 if box_continue(phi1, phi2) else 0
+                contribute = 1 if box_contribute(phi1, phi2) else 0
+                inter_partials[tid % n] += (1 - cont) * contribute * subbox.size
+                stack.append((subbox, cont))
+                trace.pushes += 1
+            top = top + 1 + len(children)
+
+        # CPU-side reduction (the paper reduces on the host, §3.3).
+        inter = sum(inter_partials)
+        doubled_area_sum = sum(area_partials)
+        # area_partials hold p and q doubled signed areas combined; both
+        # rings share orientation conventions, so the magnitudes add.
+        total_area = abs(p.signed_area) + abs(q.signed_area)
+        del doubled_area_sum  # kept for symmetry with the paper's A array
+        union = total_area - inter
+        return PairAreas(inter, union, p.area, q.area), trace

@@ -1,0 +1,63 @@
+"""Spatial function registry — the engine's ``ST_*`` implementations.
+
+Every function is backed by the exact vector-geometry library
+(:mod:`repro.exact`), matching how PostGIS delegates its spatial operators
+to GEOS (paper §2.3).  Functions are plain callables registered by name so
+plans can reference them symbolically and the profiler can attribute
+their cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import QueryError
+from repro.exact import boolean, predicates
+from repro.exact.region import RectRegion
+from repro.geometry.polygon import RectilinearPolygon
+
+__all__ = ["FUNCTIONS", "get_function", "st_area"]
+
+Geometry = RectilinearPolygon | RectRegion
+
+
+def st_area(geom: Geometry) -> int:
+    """``ST_Area``: pixels covered by a polygon or overlay region."""
+    if isinstance(geom, RectilinearPolygon):
+        return geom.area
+    if isinstance(geom, RectRegion):
+        return geom.area
+    raise QueryError(f"ST_Area: unsupported geometry {type(geom).__name__}")
+
+
+def st_intersection(p: RectilinearPolygon, q: RectilinearPolygon) -> RectRegion:
+    """``ST_Intersection``: overlay geometry of ``p AND q``."""
+    return boolean.intersection(p, q)
+
+
+def st_union(p: RectilinearPolygon, q: RectilinearPolygon) -> RectRegion:
+    """``ST_Union``: overlay geometry of ``p OR q``."""
+    return boolean.union(p, q)
+
+
+FUNCTIONS: dict[str, Callable] = {
+    "ST_Area": st_area,
+    "ST_Intersection": st_intersection,
+    "ST_Union": st_union,
+    "ST_Intersects": predicates.st_intersects,
+    "ST_Touches": predicates.st_touches,
+    "ST_Contains": predicates.st_contains,
+    "ST_Within": predicates.st_within,
+    "ST_Equals": predicates.st_equals,
+    "ST_Disjoint": predicates.st_disjoint,
+}
+
+
+def get_function(name: str) -> Callable:
+    """Resolve a registered spatial function by name."""
+    if name not in FUNCTIONS:
+        raise QueryError(
+            f"unknown spatial function {name!r} "
+            f"(known: {', '.join(sorted(FUNCTIONS))})"
+        )
+    return FUNCTIONS[name]

@@ -1,0 +1,251 @@
+"""Query plans: expressions and iterator-model operators.
+
+The mini engine executes trees of pull-based operators (Volcano style)
+over polygon tables.  Expressions may be annotated with a profiler
+*bucket*; an annotated expression charges its entire evaluation — including
+nested spatial function calls — to that bucket, which is how the paper
+attributes ``ST_Area(ST_Intersection(...))`` to a single
+``Area_Of_Intersection`` component in Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.errors import QueryError
+from repro.sdbms.functions import get_function
+from repro.sdbms.profiler import Bucket, Profiler
+from repro.sdbms.table import PolygonTable
+
+__all__ = [
+    "Expr",
+    "Col",
+    "Const",
+    "Func",
+    "BinOp",
+    "PlanNode",
+    "IndexNestLoopJoin",
+    "Filter",
+    "Project",
+    "AvgAggregate",
+]
+
+Row = dict[str, Any]
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base expression; subclasses implement :meth:`_compute`."""
+
+    bucket: str | None = None
+
+    def evaluate(self, row: Row, profiler: Profiler) -> Any:
+        """Evaluate against ``row``, charging ``bucket`` when annotated."""
+        if self.bucket is None:
+            return self._compute(row, profiler)
+        with profiler.measure(self.bucket):
+            return self._compute(row, profiler)
+
+    def _compute(self, row: Row, profiler: Profiler) -> Any:
+        raise NotImplementedError
+
+
+class Col(Expr):
+    """Column reference."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _compute(self, row: Row, profiler: Profiler) -> Any:
+        if self.name not in row:
+            raise QueryError(f"unknown column {self.name!r}")
+        return row[self.name]
+
+    def __repr__(self) -> str:
+        return f"Col({self.name})"
+
+
+class Const(Expr):
+    """Literal value."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def _compute(self, row: Row, profiler: Profiler) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+
+class Func(Expr):
+    """Spatial function call, e.g. ``ST_Area(ST_Intersection(a, b))``."""
+
+    def __init__(self, name: str, args: list[Expr], bucket: str | None = None):
+        self.name = name
+        self.args = args
+        self.fn = get_function(name)
+        self.bucket = bucket
+
+    def _compute(self, row: Row, profiler: Profiler) -> Any:
+        values = [arg.evaluate(row, profiler) for arg in self.args]
+        return self.fn(*values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+class BinOp(Expr):
+    """Arithmetic/comparison operator."""
+
+    _OPS: dict[str, Callable[[Any, Any], Any]] = {
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "/": lambda a, b: a / b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "=": lambda a, b: a == b,
+    }
+
+    def __init__(self, op: str, left: Expr, right: Expr) -> None:
+        if op not in self._OPS:
+            raise QueryError(f"unknown operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def _compute(self, row: Row, profiler: Profiler) -> Any:
+        return self._OPS[self.op](
+            self.left.evaluate(row, profiler),
+            self.right.evaluate(row, profiler),
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+# ----------------------------------------------------------------------
+# Plan operators
+# ----------------------------------------------------------------------
+class PlanNode:
+    """Base iterator-model operator."""
+
+    def rows(self, profiler: Profiler) -> Iterator[Row]:
+        """Yield result rows."""
+        raise NotImplementedError
+
+    def explain(self, depth: int = 0) -> str:
+        """Indented plan-tree description."""
+        raise NotImplementedError
+
+
+class IndexNestLoopJoin(PlanNode):
+    """MBR-overlap join: scan the outer table, probe the inner index.
+
+    This is the ``a.geom && b.geom`` join of the optimized query (Figure
+    1(b)); probes are charged to ``Index_Search``, index construction to
+    ``Index_Build``.
+    """
+
+    def __init__(self, outer: PolygonTable, inner: PolygonTable) -> None:
+        self.outer = outer
+        self.inner = inner
+
+    def rows(self, profiler: Profiler) -> Iterator[Row]:
+        self.inner.build_index(profiler)
+        index = self.inner.index
+        inner_polys = self.inner.polygons
+        for i, poly in enumerate(self.outer.polygons):
+            with profiler.measure(Bucket.INDEX_SEARCH):
+                matches = index.search(poly.mbr)
+            for j in matches:
+                yield {"a_id": i, "b_id": j, "a": poly, "b": inner_polys[j]}
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        return (
+            f"{pad}IndexNestLoopJoin ({self.outer.name} && {self.inner.name})"
+        )
+
+
+class Filter(PlanNode):
+    """Keep rows whose predicate evaluates truthy."""
+
+    def __init__(self, child: PlanNode, predicate: Expr) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def rows(self, profiler: Profiler) -> Iterator[Row]:
+        for row in self.child.rows(profiler):
+            if self.predicate.evaluate(row, profiler):
+                yield row
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        return (
+            f"{pad}Filter ({self.predicate!r})\n"
+            + self.child.explain(depth + 1)
+        )
+
+
+class Project(PlanNode):
+    """Extend each row with computed columns."""
+
+    def __init__(self, child: PlanNode, columns: dict[str, Expr]) -> None:
+        self.child = child
+        self.columns = columns
+
+    def rows(self, profiler: Profiler) -> Iterator[Row]:
+        for row in self.child.rows(profiler):
+            for name, expr in self.columns.items():
+                row[name] = expr.evaluate(row, profiler)
+            yield row
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        cols = ", ".join(f"{k}={v!r}" for k, v in self.columns.items())
+        return f"{pad}Project ({cols})\n" + self.child.explain(depth + 1)
+
+
+class AvgAggregate(PlanNode):
+    """``AVG(column)`` over rows passing an optional qualifier.
+
+    Yields a single row ``{"avg": float, "count": int, "sum": float}`` —
+    the similarity score of the whole comparison.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        column: str,
+        where: Expr | None = None,
+    ) -> None:
+        self.child = child
+        self.column = column
+        self.where = where
+
+    def rows(self, profiler: Profiler) -> Iterator[Row]:
+        total = 0.0
+        count = 0
+        for row in self.child.rows(profiler):
+            if self.where is not None and not self.where.evaluate(row, profiler):
+                continue
+            total += row[self.column]
+            count += 1
+        yield {
+            "avg": total / count if count else 0.0,
+            "count": count,
+            "sum": total,
+        }
+
+    def explain(self, depth: int = 0) -> str:
+        pad = "  " * depth
+        qual = f" where {self.where!r}" if self.where is not None else ""
+        return (
+            f"{pad}AvgAggregate ({self.column}{qual})\n"
+            + self.child.explain(depth + 1)
+        )

@@ -1,0 +1,116 @@
+"""Tests for the top-level API, the CLI, and experiment smoke runs."""
+
+import os
+
+import pytest
+
+from repro.api import cross_compare, cross_compare_files
+from repro.cli import build_parser, main
+from repro.errors import ExperimentError
+from repro.experiments.common import ExperimentResult, geometric_mean
+from repro.metrics.jaccard import jaccard_pairwise
+
+
+class TestApi:
+    def test_cross_compare_in_memory(self, tile_pair):
+        a, b = tile_pair
+        result = cross_compare(a, b)
+        pw = jaccard_pairwise(a, b)
+        assert result.jaccard_mean == pytest.approx(pw.mean_ratio)
+        assert result.intersecting_pairs == pw.intersecting_pairs
+        assert "J'" in str(result)
+
+    def test_cross_compare_files(self, small_dataset):
+        dir_a, dir_b = small_dataset
+        result = cross_compare_files(dir_a, dir_b)
+        assert 0.3 < result.jaccard_mean < 1.0
+        assert result.tiles == 4
+
+    def test_lazy_api_import(self):
+        import repro
+
+        assert callable(repro.cross_compare)
+        with pytest.raises(AttributeError):
+            _ = repro.not_a_symbol
+
+
+class TestCli:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "fig7", "--full"])
+        assert args.experiment == "fig7" and args.full
+
+    def test_list_experiments(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table1" in out
+
+    def test_compare_command(self, small_dataset, capsys):
+        dir_a, dir_b = small_dataset
+        assert main(["compare", str(dir_a), str(dir_b), "--no-migration"]) == 0
+        assert "J' =" in capsys.readouterr().out
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ExperimentError):
+            main(["run", "fig99"])
+
+
+class TestExperimentHarness:
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([1.0, 0.0]) == 0.0
+
+    def test_result_render(self):
+        result = ExperimentResult(
+            name="demo",
+            headers=["a", "b"],
+            rows=[["x", 1.5]],
+            paper_expectation="n/a",
+            notes=["hello"],
+        )
+        text = result.render()
+        assert "demo" in text and "1.500" in text and "hello" in text
+
+    def test_registry_lists_all_figures(self):
+        from repro.experiments.registry import experiment_names
+
+        assert experiment_names() == [
+            "fig2", "fig7", "fig8", "fig9", "fig10", "table1", "fig11",
+            "fig12",
+        ]
+
+    def test_registry_rejects_unknown(self):
+        from repro.experiments.registry import run_experiment
+
+        with pytest.raises(ExperimentError):
+            run_experiment("fig0")
+
+
+@pytest.mark.slow
+class TestExperimentSmoke:
+    """Every experiment runs end-to-end at quick scale."""
+
+    @pytest.fixture(autouse=True)
+    def _data_dir(self, tmp_path_factory, monkeypatch):
+        root = tmp_path_factory.mktemp("exp-data")
+        monkeypatch.setenv("REPRO_DATA_DIR", str(root))
+
+    @pytest.mark.parametrize(
+        "name", ["fig2", "fig7", "fig8", "fig9", "fig10", "table1", "fig11"]
+    )
+    def test_experiment_runs(self, name):
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment(name, quick=True)
+        assert result.rows
+        assert result.render()
+
+    def test_fig12_runs(self):
+        from repro.experiments.registry import run_experiment
+
+        result = run_experiment("fig12", quick=True)
+        assert result.rows[-1][0] == "geometric mean"
+        # Every dataset's similarity must agree between the two systems.
+        for row in result.rows[:-1]:
+            assert row[-1] == "yes"

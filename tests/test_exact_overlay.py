@@ -1,0 +1,194 @@
+"""Unit tests for repro.exact: decomposition, regions, boolean overlay."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.exact.boolean import (
+    difference,
+    intersection,
+    intersection_area,
+    subtract_box,
+    union,
+    union_area,
+)
+from repro.exact.decompose import decompose, decompose_edges
+from repro.exact.measure import CoverageSegmentTree, union_area_of_boxes
+from repro.exact.region import RectRegion
+from repro.geometry.box import Box
+from repro.geometry.polygon import RectilinearPolygon
+from repro.geometry.raster import polygon_to_mask
+from tests.conftest import random_pair
+
+L_SHAPE = RectilinearPolygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 5), (0, 5)])
+
+
+class TestDecompose:
+    def test_rectangle_is_single_rect(self):
+        poly = RectilinearPolygon.from_box(Box(1, 1, 5, 4))
+        assert decompose(poly) == [Box(1, 1, 5, 4)]
+
+    def test_l_shape_two_slabs(self):
+        rects = decompose(L_SHAPE)
+        assert sum(r.size for r in rects) == L_SHAPE.area
+        RectRegion(rects).validate_disjoint()
+
+    def test_decompose_covers_exact_pixels(self, rng):
+        from tests.conftest import random_polygon
+
+        for _ in range(25):
+            poly = random_polygon(rng)
+            mask = polygon_to_mask(poly, poly.mbr)
+            acc = np.zeros_like(mask)
+            for r in decompose(poly):
+                acc[
+                    r.y0 - poly.mbr.y0 : r.y1 - poly.mbr.y0,
+                    r.x0 - poly.mbr.x0 : r.x1 - poly.mbr.x0,
+                ] = True
+            assert np.array_equal(acc, mask)
+
+    def test_decompose_edges_merges_coincident(self):
+        # Two adjacent rects expressed as raw edges merge into one.
+        edges = [(0, 0, 1), (2, 0, 1), (2, 0, 1), (4, 0, 1)]
+        assert decompose_edges(edges) == [Box(0, 0, 4, 1)]
+
+    def test_unbalanced_edges_raise(self):
+        with pytest.raises(GeometryError):
+            decompose_edges([(0, 0, 2), (1, 0, 1)])
+
+
+class TestRectRegion:
+    def test_area_and_len(self):
+        region = RectRegion([Box(0, 0, 2, 2), Box(5, 0, 6, 1)])
+        assert region.area == 5 and len(region) == 2 and bool(region)
+
+    def test_empty_region(self):
+        region = RectRegion.empty()
+        assert region.area == 0 and not region and region.mbr is None
+
+    def test_normalized_equality(self):
+        a = RectRegion([Box(0, 0, 2, 1), Box(2, 0, 4, 1)])
+        b = RectRegion([Box(0, 0, 4, 1)])
+        assert a == b and hash(a) == hash(b)
+
+    def test_contains_pixel(self):
+        region = RectRegion([Box(0, 0, 2, 2)])
+        assert region.contains_pixel(1, 1) and not region.contains_pixel(2, 2)
+
+    def test_to_mask(self):
+        region = RectRegion([Box(1, 1, 3, 2)])
+        mask = region.to_mask(Box(0, 0, 4, 3))
+        assert mask.sum() == 2 and mask[1, 1] and mask[1, 2]
+
+    def test_validate_disjoint_catches_overlap(self):
+        with pytest.raises(GeometryError):
+            RectRegion([Box(0, 0, 3, 3), Box(2, 2, 4, 4)]).validate_disjoint()
+
+
+class TestBooleanOverlay:
+    def test_intersection_of_squares(self):
+        a = RectilinearPolygon.from_box(Box(0, 0, 4, 4))
+        b = RectilinearPolygon.from_box(Box(2, 2, 6, 6))
+        region = intersection(a, b)
+        assert region.area == 4
+        assert region == RectRegion([Box(2, 2, 4, 4)])
+
+    def test_union_of_squares(self):
+        a = RectilinearPolygon.from_box(Box(0, 0, 4, 4))
+        b = RectilinearPolygon.from_box(Box(2, 2, 6, 6))
+        assert union(a, b).area == 28
+        assert union_area(a, b) == 28
+
+    def test_difference(self):
+        a = RectilinearPolygon.from_box(Box(0, 0, 4, 4))
+        b = RectilinearPolygon.from_box(Box(2, 0, 6, 4))
+        region = difference(a, b)
+        assert region.area == 8
+        assert not difference(b, b).area
+
+    def test_disjoint_intersection_empty(self):
+        a = RectilinearPolygon.from_box(Box(0, 0, 2, 2))
+        b = RectilinearPolygon.from_box(Box(5, 5, 7, 7))
+        assert intersection(a, b).area == 0
+        assert intersection_area(a, b) == 0
+
+    def test_matches_mask_ground_truth(self, rng):
+        for _ in range(40):
+            p, q = random_pair(rng)
+            frame = p.mbr.cover(q.mbr)
+            mp = polygon_to_mask(p, frame)
+            mq = polygon_to_mask(q, frame)
+            assert intersection_area(p, q) == int((mp & mq).sum())
+            assert union_area(p, q) == int((mp | mq).sum())
+            inter = intersection(p, q)
+            inter.validate_disjoint()
+            assert np.array_equal(inter.to_mask(frame), mp & mq)
+            uni = union(p, q)
+            uni.validate_disjoint()
+            assert np.array_equal(uni.to_mask(frame), mp | mq)
+
+    def test_inclusion_exclusion_identity(self, rng):
+        for _ in range(20):
+            p, q = random_pair(rng)
+            assert (
+                union_area(p, q)
+                == p.area + q.area - intersection_area(p, q)
+            )
+
+
+class TestSubtractBox:
+    def test_no_overlap_returns_original(self):
+        assert subtract_box(Box(0, 0, 2, 2), Box(5, 5, 6, 6)) == [Box(0, 0, 2, 2)]
+
+    def test_full_cover_returns_nothing(self):
+        assert subtract_box(Box(1, 1, 2, 2), Box(0, 0, 4, 4)) == []
+
+    def test_center_hole_four_pieces(self):
+        pieces = subtract_box(Box(0, 0, 6, 6), Box(2, 2, 4, 4))
+        assert len(pieces) == 4
+        assert sum(p.size for p in pieces) == 32
+        RectRegion(pieces).validate_disjoint()
+
+
+class TestKleeMeasure:
+    def test_empty(self):
+        assert union_area_of_boxes([]) == 0
+
+    def test_disjoint_sum(self):
+        assert union_area_of_boxes([Box(0, 0, 2, 2), Box(5, 5, 6, 6)]) == 5
+
+    def test_nested(self):
+        assert union_area_of_boxes([Box(0, 0, 10, 10), Box(2, 2, 4, 4)]) == 100
+
+    def test_matches_mask(self, rng):
+        for _ in range(25):
+            boxes = []
+            for _ in range(int(rng.integers(1, 12))):
+                x0 = int(rng.integers(0, 20))
+                y0 = int(rng.integers(0, 20))
+                boxes.append(
+                    Box(x0, y0, x0 + int(rng.integers(1, 8)),
+                        y0 + int(rng.integers(1, 8)))
+                )
+            mask = np.zeros((30, 30), dtype=bool)
+            for b in boxes:
+                mask[b.y0 : b.y1, b.x0 : b.x1] = True
+            assert union_area_of_boxes(boxes) == int(mask.sum())
+
+    def test_segment_tree_validation(self):
+        tree = CoverageSegmentTree([0, 2, 5])
+        tree.add(0, 2, +1)
+        assert tree.covered_length == 2
+        tree.add(0, 5, +1)
+        assert tree.covered_length == 5
+        tree.add(0, 2, -1)
+        assert tree.covered_length == 5  # [0,5) still covers everything
+        tree.add(0, 5, -1)
+        assert tree.covered_length == 0
+        with pytest.raises(GeometryError):
+            tree.add(0, 5, -1)
+
+    def test_segment_tree_unknown_coordinate(self):
+        tree = CoverageSegmentTree([0, 4])
+        with pytest.raises(GeometryError):
+            tree.add(1, 4, 1)

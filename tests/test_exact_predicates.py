@@ -1,0 +1,97 @@
+"""Unit tests for repro.exact.predicates (OGC ST_* semantics)."""
+
+import pytest
+
+from repro.exact.predicates import (
+    boundaries_touch,
+    interiors_intersect,
+    st_contains,
+    st_disjoint,
+    st_equals,
+    st_intersects,
+    st_touches,
+    st_within,
+)
+from repro.geometry.box import Box
+from repro.geometry.polygon import RectilinearPolygon
+
+
+def square(x0, y0, x1, y1):
+    return RectilinearPolygon.from_box(Box(x0, y0, x1, y1))
+
+
+class TestIntersects:
+    def test_overlapping(self):
+        assert st_intersects(square(0, 0, 4, 4), square(2, 2, 6, 6))
+
+    def test_edge_touching_counts(self):
+        assert st_intersects(square(0, 0, 2, 2), square(2, 0, 4, 2))
+
+    def test_corner_touching_counts(self):
+        assert st_intersects(square(0, 0, 2, 2), square(2, 2, 4, 4))
+
+    def test_disjoint(self):
+        a, b = square(0, 0, 2, 2), square(5, 5, 7, 7)
+        assert not st_intersects(a, b)
+        assert st_disjoint(a, b)
+
+    def test_containment_counts(self):
+        assert st_intersects(square(0, 0, 10, 10), square(3, 3, 5, 5))
+
+    def test_symmetric(self, rng):
+        from tests.conftest import random_pair
+
+        for _ in range(20):
+            p, q = random_pair(rng)
+            assert st_intersects(p, q) == st_intersects(q, p)
+
+
+class TestTouches:
+    def test_shared_edge(self):
+        assert st_touches(square(0, 0, 2, 2), square(2, 0, 4, 2))
+
+    def test_shared_corner(self):
+        assert st_touches(square(0, 0, 2, 2), square(2, 2, 4, 4))
+
+    def test_overlap_is_not_touch(self):
+        assert not st_touches(square(0, 0, 4, 4), square(2, 2, 6, 6))
+
+    def test_disjoint_is_not_touch(self):
+        assert not st_touches(square(0, 0, 2, 2), square(5, 5, 7, 7))
+
+    def test_boundaries_touch_collinear_overlap(self):
+        assert boundaries_touch(square(0, 0, 4, 2), square(4, 0, 8, 2))
+
+
+class TestContainment:
+    def test_contains_proper(self):
+        assert st_contains(square(0, 0, 10, 10), square(2, 2, 5, 5))
+
+    def test_contains_self(self):
+        a = square(0, 0, 3, 3)
+        assert st_contains(a, a)
+
+    def test_not_contains_partial_overlap(self):
+        assert not st_contains(square(0, 0, 4, 4), square(2, 2, 6, 6))
+
+    def test_within_is_converse(self):
+        outer, inner = square(0, 0, 10, 10), square(1, 1, 3, 3)
+        assert st_within(inner, outer)
+        assert not st_within(outer, inner)
+
+    def test_interiors_intersect_needs_area(self):
+        assert not interiors_intersect(square(0, 0, 2, 2), square(2, 0, 4, 2))
+
+
+class TestEquals:
+    def test_same_pixels_different_rings(self):
+        # An L-shape with a redundant structure vs its mirror trace.
+        a = RectilinearPolygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 5), (0, 5)])
+        b = a.reversed()
+        assert st_equals(a, b)
+
+    def test_different_area_not_equal(self):
+        assert not st_equals(square(0, 0, 2, 2), square(0, 0, 3, 2))
+
+    def test_same_area_different_place_not_equal(self):
+        assert not st_equals(square(0, 0, 2, 2), square(5, 5, 7, 7))

@@ -1,0 +1,117 @@
+"""Unit tests for repro.geometry.box."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.box import Box
+
+
+class TestConstruction:
+    def test_valid_box(self):
+        box = Box(1, 2, 4, 7)
+        assert (box.width, box.height, box.size) == (3, 5, 15)
+
+    @pytest.mark.parametrize("coords", [(0, 0, 0, 1), (0, 0, 1, 0), (2, 2, 1, 3)])
+    def test_empty_box_rejected(self, coords):
+        with pytest.raises(GeometryError):
+            Box(*coords)
+
+    def test_negative_coordinates_allowed(self):
+        assert Box(-5, -3, -1, -2).size == 4
+
+    def test_as_tuple_roundtrip(self):
+        box = Box(3, 4, 9, 10)
+        assert Box(*box.as_tuple()) == box
+
+
+class TestSetOperations:
+    def test_intersect_overlapping(self):
+        assert Box(0, 0, 4, 4).intersect(Box(2, 2, 6, 6)) == Box(2, 2, 4, 4)
+
+    def test_intersect_disjoint_is_none(self):
+        assert Box(0, 0, 2, 2).intersect(Box(5, 5, 7, 7)) is None
+
+    def test_intersect_touching_edge_is_none(self):
+        # Half-open pixel semantics: sharing only a border covers no pixel.
+        assert Box(0, 0, 2, 2).intersect(Box(2, 0, 4, 2)) is None
+
+    def test_intersects_predicate_matches_intersect(self):
+        a, b = Box(0, 0, 4, 4), Box(3, 3, 5, 5)
+        assert a.intersects(b) and a.intersect(b) is not None
+
+    def test_intersects_or_touches_on_shared_edge(self):
+        a, b = Box(0, 0, 2, 2), Box(2, 0, 4, 2)
+        assert not a.intersects(b)
+        assert a.intersects_or_touches(b)
+
+    def test_intersects_or_touches_on_corner(self):
+        assert Box(0, 0, 2, 2).intersects_or_touches(Box(2, 2, 3, 3))
+
+    def test_cover(self):
+        assert Box(0, 0, 2, 2).cover(Box(5, 1, 6, 7)) == Box(0, 0, 6, 7)
+
+    def test_contains_box(self):
+        outer = Box(0, 0, 10, 10)
+        assert outer.contains_box(Box(2, 3, 5, 6))
+        assert outer.contains_box(outer)
+        assert not Box(2, 3, 5, 6).contains_box(outer)
+
+    def test_contains_pixel_half_open(self):
+        box = Box(0, 0, 2, 2)
+        assert box.contains_pixel(0, 0)
+        assert box.contains_pixel(1, 1)
+        assert not box.contains_pixel(2, 0)
+        assert not box.contains_pixel(0, 2)
+
+
+class TestSplit:
+    def test_split_tiles_exactly(self):
+        box = Box(0, 0, 70, 53)
+        children = box.split(8, 8)
+        assert sum(c.size for c in children) == box.size
+        for a in children:
+            for b in children:
+                if a is not b:
+                    assert not a.intersects(b)
+
+    def test_split_narrow_box_drops_empty_slices(self):
+        children = Box(0, 0, 3, 1).split(8, 8)
+        assert len(children) == 3
+        assert sum(c.size for c in children) == 3
+
+    def test_split_single_pixel(self):
+        assert Box(5, 5, 6, 6).split(4, 4) == [Box(5, 5, 6, 6)]
+
+    def test_split_invalid_grid(self):
+        with pytest.raises(GeometryError):
+            Box(0, 0, 4, 4).split(0, 2)
+
+    def test_split_matches_vectorized_cuts(self):
+        import numpy as np
+
+        from repro.pixelbox.vectorized import _split_cuts
+
+        box = Box(3, 7, 73, 40)
+        cuts_x, cuts_y = _split_cuts(
+            np.array([box.as_tuple()], dtype=np.int64), 8, 8
+        )
+        children = box.split(8, 8)
+        xs = sorted({c.x0 for c in children} | {c.x1 for c in children})
+        assert xs == sorted(set(cuts_x[0].tolist()))
+
+
+class TestTransforms:
+    def test_translate(self):
+        assert Box(1, 2, 3, 4).translate(10, -2) == Box(11, 0, 13, 2)
+
+    def test_scale(self):
+        assert Box(1, 2, 3, 4).scale(3) == Box(3, 6, 9, 12)
+
+    def test_scale_rejects_nonpositive(self):
+        with pytest.raises(GeometryError):
+            Box(0, 0, 1, 1).scale(0)
+
+    def test_center_pixel_inside(self):
+        box = Box(10, 20, 17, 29)
+        cx, cy = box.center_pixel
+        assert box.contains_pixel(cx, cy)

@@ -1,0 +1,146 @@
+"""Unit tests for repro.geometry.polygon."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RectilinearityError, RingClosureError
+from repro.geometry.box import Box
+from repro.geometry.polygon import RectilinearPolygon
+
+UNIT_SQUARE = [(0, 0), (1, 0), (1, 1), (0, 1)]
+L_SHAPE = [(0, 0), (4, 0), (4, 2), (2, 2), (2, 5), (0, 5)]
+
+
+class TestValidation:
+    def test_square_is_valid(self):
+        assert RectilinearPolygon(UNIT_SQUARE).area == 1
+
+    def test_too_few_vertices(self):
+        with pytest.raises(RingClosureError):
+            RectilinearPolygon([(0, 0), (1, 0)])
+
+    def test_odd_vertex_count(self):
+        with pytest.raises(RectilinearityError):
+            RectilinearPolygon([(0, 0), (2, 0), (2, 2), (1, 2), (0, 1)])
+
+    def test_diagonal_edge_rejected(self):
+        with pytest.raises(RectilinearityError):
+            RectilinearPolygon([(0, 0), (2, 2), (2, 0), (0, 2)])
+
+    def test_zero_length_edge_rejected(self):
+        with pytest.raises(RectilinearityError):
+            RectilinearPolygon([(0, 0), (2, 0), (2, 0), (2, 2), (0, 2), (0, 1)])
+
+    def test_explicitly_closed_ring_rejected(self):
+        with pytest.raises(RingClosureError):
+            RectilinearPolygon([(0, 0), (1, 0), (1, 1), (0, 1), (0, 0)])
+
+    def test_consecutive_parallel_edges_rejected(self):
+        # Two horizontal edges in a row (collinear split vertex).
+        with pytest.raises(RectilinearityError):
+            RectilinearPolygon([(0, 0), (1, 0), (2, 0), (2, 1), (1, 1), (0, 1)])
+
+    def test_bad_shape_array(self):
+        with pytest.raises(RingClosureError):
+            RectilinearPolygon(np.zeros((4, 3), dtype=np.int64))
+
+
+class TestDerivedGeometry:
+    def test_shoelace_area_l_shape(self):
+        poly = RectilinearPolygon(L_SHAPE)
+        assert poly.area == 4 * 2 + 2 * 3
+
+    def test_signed_area_orientation(self):
+        ccw = RectilinearPolygon(UNIT_SQUARE)
+        cw = ccw.reversed()
+        assert ccw.signed_area == 1 and cw.signed_area == -1
+        assert ccw.orientation == 1 and cw.orientation == -1
+        assert cw.area == 1
+
+    def test_mbr(self):
+        assert RectilinearPolygon(L_SHAPE).mbr == Box(0, 0, 4, 5)
+
+    def test_edge_families_balanced(self):
+        poly = RectilinearPolygon(L_SHAPE)
+        assert len(poly.vertical_edges) == len(poly.horizontal_edges) == 3
+
+    def test_vertical_edges_normalized(self):
+        poly = RectilinearPolygon(L_SHAPE)
+        for _, lo, hi in poly.vertical_edges:
+            assert lo < hi
+
+    def test_len_and_iter(self):
+        poly = RectilinearPolygon(L_SHAPE)
+        assert len(poly) == 6
+        assert list(poly) == L_SHAPE
+
+    def test_equality_and_hash(self):
+        a = RectilinearPolygon(UNIT_SQUARE)
+        b = RectilinearPolygon(UNIT_SQUARE)
+        assert a == b and hash(a) == hash(b)
+        assert a != RectilinearPolygon(L_SHAPE)
+
+    def test_vertices_read_only(self):
+        poly = RectilinearPolygon(UNIT_SQUARE)
+        with pytest.raises(ValueError):
+            poly.vertices[0, 0] = 9
+
+
+class TestContainment:
+    def test_contains_pixel_square(self):
+        poly = RectilinearPolygon([(0, 0), (3, 0), (3, 3), (0, 3)])
+        assert poly.contains_pixel(0, 0)
+        assert poly.contains_pixel(2, 2)
+        assert not poly.contains_pixel(3, 1)
+        assert not poly.contains_pixel(-1, 1)
+
+    def test_contains_pixel_l_shape_notch(self):
+        poly = RectilinearPolygon(L_SHAPE)
+        assert poly.contains_pixel(1, 4)
+        assert not poly.contains_pixel(3, 3)  # inside MBR, outside polygon
+
+    def test_contains_pixel_matches_mask(self, rng):
+        from tests.conftest import mask_of, random_polygon
+
+        poly = random_polygon(rng)
+        box = poly.mbr
+        mask = mask_of(poly, box)
+        for y in range(box.y0, box.y1):
+            for x in range(box.x0, box.x1):
+                assert poly.contains_pixel(x, y) == bool(
+                    mask[y - box.y0, x - box.x0]
+                )
+
+    def test_contains_point_interior(self):
+        poly = RectilinearPolygon(L_SHAPE)
+        assert poly.contains_point(0.5, 0.5)
+        assert not poly.contains_point(3.5, 4.5)
+
+
+class TestTransforms:
+    def test_translate_preserves_area(self):
+        poly = RectilinearPolygon(L_SHAPE)
+        moved = poly.translate(100, -50)
+        assert moved.area == poly.area
+        assert moved.mbr == poly.mbr.translate(100, -50)
+
+    def test_scale_squares_area(self):
+        poly = RectilinearPolygon(L_SHAPE)
+        assert poly.scale(3).area == poly.area * 9
+
+    def test_scale_rejects_zero(self):
+        with pytest.raises(RectilinearityError):
+            RectilinearPolygon(L_SHAPE).scale(0)
+
+    def test_from_box(self):
+        poly = RectilinearPolygon.from_box(Box(2, 3, 7, 9))
+        assert poly.area == 30
+        assert poly.signed_area > 0
+
+    def test_from_pairs(self):
+        poly = RectilinearPolygon.from_pairs([0, 0, 1, 0, 1, 1, 0, 1])
+        assert poly.area == 1
+
+    def test_from_pairs_odd_length(self):
+        with pytest.raises(RingClosureError):
+            RectilinearPolygon.from_pairs([0, 0, 1])

@@ -1,0 +1,53 @@
+"""Unit tests for repro.geometry.wkt."""
+
+import pytest
+
+from repro.errors import WktError
+from repro.geometry.polygon import RectilinearPolygon
+from repro.geometry.wkt import polygon_from_wkt, polygon_to_wkt
+
+L_SHAPE = [(0, 0), (4, 0), (4, 2), (2, 2), (2, 5), (0, 5)]
+
+
+class TestRoundtrip:
+    def test_roundtrip_l_shape(self):
+        poly = RectilinearPolygon(L_SHAPE)
+        assert polygon_from_wkt(polygon_to_wkt(poly)) == poly
+
+    def test_serialized_ring_is_closed(self):
+        text = polygon_to_wkt(RectilinearPolygon(L_SHAPE))
+        body = text[text.index("((") + 2 : text.rindex("))")]
+        pairs = [tuple(tok.split()) for tok in body.split(",")]
+        assert pairs[0] == pairs[-1]
+
+    def test_roundtrip_random(self, rng):
+        from tests.conftest import random_polygon
+
+        for _ in range(20):
+            poly = random_polygon(rng)
+            assert polygon_from_wkt(polygon_to_wkt(poly)) == poly
+
+
+class TestParsing:
+    def test_case_insensitive_keyword(self):
+        poly = polygon_from_wkt("polygon ((0 0, 1 0, 1 1, 0 1, 0 0))")
+        assert poly.area == 1
+
+    def test_float_spelling_of_integers(self):
+        poly = polygon_from_wkt("POLYGON ((0.0 0, 1.0 0, 1 1, 0 1, 0 0))")
+        assert poly.area == 1
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "LINESTRING (0 0, 1 1)",
+            "POLYGON ((0 0, 1 0, 1 1, 0 1))",  # unclosed
+            "POLYGON ((0 0, 1.5 0, 1.5 1, 0 1, 0 0))",  # non-integer
+            "POLYGON ((0 0 0, 1 0 0, 1 1 0, 0 1 0, 0 0 0))",  # 3-D
+            "POLYGON ((0 0, 1 1, 0 0))",  # too few vertices
+            "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 0), (2 2, 3 2, 3 3, 2 3, 2 2))",
+        ],
+    )
+    def test_malformed_inputs_raise(self, bad):
+        with pytest.raises(WktError):
+            polygon_from_wkt(bad)

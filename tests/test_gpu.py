@@ -1,0 +1,139 @@
+"""Unit tests for the SIMT GPU simulator."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.cost import CostModel, CycleBreakdown, OptimizationFlags
+from repro.gpu.device import GTX580, TESLA_M2050, DeviceSpec
+from repro.gpu.memory import (
+    aos_push_addresses,
+    conflict_ways,
+    soa_push_addresses,
+)
+from repro.gpu.simt_kernel import collect_block_counts
+from repro.gpu.simulator import simulate_device
+from repro.pixelbox.common import LaunchConfig, Method
+from repro.pixelbox.engine import compute_pair
+from tests.conftest import random_pair
+
+ALL_VARIANTS = [
+    OptimizationFlags(False, False, False),
+    OptimizationFlags(True, False, False),
+    OptimizationFlags(True, True, False),
+    OptimizationFlags(True, True, True),
+]
+
+
+class TestDeviceSpec:
+    def test_presets(self):
+        assert GTX580.sm_count == 16 and TESLA_M2050.sm_count == 14
+
+    def test_occupancy_limits(self):
+        assert GTX580.blocks_resident(64, 4096) == 8
+        assert GTX580.blocks_resident(512, 4096) == 3
+        assert GTX580.blocks_resident(64, 48 * 1024) == 1
+
+    def test_validation(self):
+        with pytest.raises(DeviceError):
+            DeviceSpec(name="bad", sm_count=0)
+        with pytest.raises(DeviceError):
+            GTX580.blocks_resident(0, 1024)
+
+
+class TestBankConflicts:
+    def test_conflict_free_stride_one(self):
+        assert conflict_ways(range(32)) == 1
+
+    def test_broadcast_is_free(self):
+        assert conflict_ways([7] * 32) == 1
+
+    def test_stride_eight_is_eight_way(self):
+        assert conflict_ways([t * 8 for t in range(32)]) == 8
+
+    def test_aos_layout_conflicts(self):
+        for field in range(5):
+            assert conflict_ways(aos_push_addresses(32, field)) == 8
+
+    def test_soa_layout_conflict_free(self):
+        for field in range(5):
+            assert conflict_ways(soa_push_addresses(32, field)) == 1
+
+    def test_banks_validation(self):
+        with pytest.raises(DeviceError):
+            conflict_ways([0], banks=0)
+
+
+class TestCostModel:
+    def test_flag_labels(self):
+        labels = [f.label for f in ALL_VARIANTS]
+        assert labels == [
+            "PixelBox-NoOpt", "PixelBox-NBC", "PixelBox-NBC-UR",
+            "PixelBox-NBC-UR-SM",
+        ]
+
+    def test_unrolling_reduces_loop_overhead(self):
+        rolled = CostModel(GTX580, OptimizationFlags(True, False, False))
+        unrolled = CostModel(GTX580, OptimizationFlags(True, True, False))
+        a = rolled.edge_loop(10, 20)
+        b = unrolled.edge_loop(10, 20)
+        assert b.loop_overhead < a.loop_overhead
+        assert b.alu == a.alu
+
+    def test_shared_memory_moves_traffic(self):
+        gmem = CostModel(GTX580, OptimizationFlags(True, True, False))
+        smem = CostModel(GTX580, OptimizationFlags(True, True, True))
+        a = gmem.edge_loop(10, 20)
+        b = smem.edge_loop(10, 20)
+        assert a.global_mem > 0 and a.shared_mem == 0
+        assert b.shared_mem > 0 and b.global_mem == 0
+        assert b.total < a.total
+
+    def test_nbc_reduces_push_cost(self):
+        aos = CostModel(GTX580, OptimizationFlags(False, False, False))
+        soa = CostModel(GTX580, OptimizationFlags(True, False, False))
+        assert soa.stack_push(1).stack < aos.stack_push(1).stack
+
+    def test_breakdown_totals(self):
+        b = CycleBreakdown(alu=1, loop_overhead=2, global_mem=3,
+                           shared_mem=4, sync=5, stack=6)
+        assert b.total == 21
+
+
+class TestSimtKernel:
+    def test_replay_matches_engine(self, rng):
+        cfg = LaunchConfig(block_size=16, pixel_threshold=64)
+        for _ in range(6):
+            p, q = random_pair(rng)
+            p, q = p.scale(3), q.scale(3)
+            counts = collect_block_counts(p, q, cfg)
+            ref = compute_pair(p, q, Method.PIXELBOX, cfg)
+            assert counts.intersection_area == ref.intersection
+            assert counts.union_area == ref.union
+
+    def test_variant_ordering(self, rng):
+        pairs = [random_pair(rng) for _ in range(12)]
+        counts = [collect_block_counts(p, q) for p, q in pairs]
+        times = [
+            simulate_device(counts, GTX580, flags).device_ms
+            for flags in ALL_VARIANTS
+        ]
+        # Each added optimization must not slow the kernel down.
+        assert times[0] >= times[1] >= times[2] >= times[3]
+        assert times[3] < times[0]
+
+    def test_empty_launch_rejected(self):
+        with pytest.raises(DeviceError):
+            simulate_device([], GTX580, OptimizationFlags())
+
+    def test_report_renders(self, rng):
+        counts = [collect_block_counts(*random_pair(rng))]
+        report = simulate_device(counts, GTX580, OptimizationFlags())
+        assert "blocks" in str(report)
+        assert report.total_cycles > 0
+
+    def test_more_sms_is_faster(self, rng):
+        pairs = [random_pair(rng) for _ in range(40)]
+        counts = [collect_block_counts(p, q) for p, q in pairs]
+        slow = simulate_device(counts, TESLA_M2050, OptimizationFlags())
+        fast = simulate_device(counts, GTX580, OptimizationFlags())
+        assert fast.device_ms < slow.device_ms

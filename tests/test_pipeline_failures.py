@@ -1,0 +1,57 @@
+"""Failure injection: the pipeline reports stage errors instead of hanging."""
+
+import pytest
+
+from repro.errors import ParseError, PipelineError
+from repro.io.tiles import tile_name
+from repro.pipeline.device import GpuDevice
+from repro.pipeline.engine import (
+    PipelineOptions,
+    run_nopipe_single,
+    run_pipelined,
+)
+from repro.pipeline.migration import MigrationConfig
+
+
+@pytest.fixture
+def corrupt_dataset(tmp_path):
+    """Two result sets where one tile file is malformed."""
+    for side in ("result_a", "result_b"):
+        d = tmp_path / side
+        d.mkdir()
+        for t in range(3):
+            (d / tile_name(t)).write_text("0,0 4,0 4,4 0,4\n")
+    # Corrupt one file: odd coordinate count.
+    (tmp_path / "result_a" / tile_name(1)).write_text("0,0 4,0 4\n")
+    return tmp_path / "result_a", tmp_path / "result_b"
+
+
+def _options(**kw):
+    return PipelineOptions(devices=[GpuDevice(launch_overhead=0.0)], **kw)
+
+
+class TestFailurePropagation:
+    def test_pipelined_surfaces_parse_error(self, corrupt_dataset):
+        dir_a, dir_b = corrupt_dataset
+        with pytest.raises(PipelineError) as excinfo:
+            run_pipelined(dir_a, dir_b, _options())
+        assert isinstance(excinfo.value.__cause__, ParseError)
+
+    def test_pipelined_with_migration_surfaces_error(self, corrupt_dataset):
+        dir_a, dir_b = corrupt_dataset
+        with pytest.raises(PipelineError):
+            run_pipelined(
+                dir_a, dir_b, _options(migration=MigrationConfig())
+            )
+
+    def test_nopipe_surfaces_error_directly(self, corrupt_dataset):
+        dir_a, dir_b = corrupt_dataset
+        with pytest.raises(ParseError):
+            run_nopipe_single(dir_a, dir_b, _options())
+
+    def test_clean_dataset_still_works_after_failure(self, corrupt_dataset):
+        dir_a, dir_b = corrupt_dataset
+        (dir_a / tile_name(1)).write_text("0,0 4,0 4,4 0,4\n")
+        out = run_pipelined(dir_a, dir_b, _options())
+        assert out.tiles == 3
+        assert out.jaccard_mean == pytest.approx(1.0)

@@ -1,0 +1,69 @@
+"""PixelBox-based spatial operators agree with the exact predicates."""
+
+import pytest
+
+from repro.exact.predicates import (
+    st_contains,
+    st_equals,
+    st_intersects,
+    st_touches,
+)
+from repro.geometry.box import Box
+from repro.geometry.polygon import RectilinearPolygon
+from repro.pixelbox.operators import (
+    contains_pixelbox,
+    equals_pixelbox,
+    intersects_pixelbox,
+    touches_pixelbox,
+)
+from tests.conftest import random_pair, random_polygon
+
+
+def square(x0, y0, x1, y1):
+    return RectilinearPolygon.from_box(Box(x0, y0, x1, y1))
+
+
+class TestKnownCases:
+    def test_contains(self):
+        assert contains_pixelbox(square(0, 0, 10, 10), square(2, 2, 5, 5))
+        assert not contains_pixelbox(square(0, 0, 4, 4), square(2, 2, 6, 6))
+
+    def test_equals(self):
+        a = RectilinearPolygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 5), (0, 5)])
+        assert equals_pixelbox(a, a.reversed())
+        assert not equals_pixelbox(a, square(0, 0, 2, 2))
+
+    def test_touches_shared_edge(self):
+        assert touches_pixelbox(square(0, 0, 2, 2), square(2, 0, 4, 2))
+        assert not touches_pixelbox(square(0, 0, 4, 4), square(2, 2, 6, 6))
+
+    def test_touches_corner(self):
+        assert touches_pixelbox(square(0, 0, 2, 2), square(2, 2, 4, 4))
+
+    def test_intersects(self):
+        assert intersects_pixelbox(square(0, 0, 4, 4), square(2, 2, 6, 6))
+        assert intersects_pixelbox(square(0, 0, 2, 2), square(2, 0, 4, 2))
+        assert not intersects_pixelbox(square(0, 0, 2, 2), square(9, 9, 11, 11))
+
+
+class TestAgreementWithExact:
+    def test_random_pairs(self, rng):
+        for _ in range(40):
+            p, q = random_pair(rng)
+            assert intersects_pixelbox(p, q) == st_intersects(p, q)
+            assert touches_pixelbox(p, q) == st_touches(p, q)
+            assert contains_pixelbox(p, q) == st_contains(p, q)
+            assert equals_pixelbox(p, q) == st_equals(p, q)
+
+    def test_containment_workload(self, rng):
+        for _ in range(15):
+            outer = random_polygon(rng, 16, 16).scale(3)
+            inner = random_polygon(rng, 6, 6).translate(12, 12)
+            assert contains_pixelbox(outer, inner) == st_contains(outer, inner)
+
+    def test_self_relations(self, rng):
+        poly = random_polygon(rng)
+        assert contains_pixelbox(poly, poly)
+        assert equals_pixelbox(poly, poly)
+        assert intersects_pixelbox(poly, poly)
+        assert not touches_pixelbox(poly, poly)
