@@ -33,6 +33,18 @@ def main() -> None:
     print("Both systems agree exactly — pixelization is lossless on "
           "rectilinear polygons (paper §3.4).")
 
+    # Every execution backend computes the same bits; pick one by name
+    # (or from the shell: `python -m repro compare A B --backend auto`).
+    from repro.backends import available_backends
+
+    print()
+    for backend in available_backends():
+        if backend == "simt":
+            continue  # the pure-Python replay is slow at tile scale
+        routed = cross_compare(result_a, result_b, backend=backend)
+        print(f"backend {backend:12s}: J'={routed.jaccard_mean:.4f}")
+        assert routed.jaccard_mean == result.jaccard_mean
+
 
 if __name__ == "__main__":
     main()

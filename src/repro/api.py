@@ -59,9 +59,17 @@ def cross_compare(
     set_a: list[RectilinearPolygon],
     set_b: list[RectilinearPolygon],
     config: LaunchConfig | None = None,
+    backend: str = "batch",
 ) -> CrossCompareResult:
-    """Cross-compare two in-memory polygon sets (one tile's results)."""
-    return CrossCompareResult.from_pairwise(jaccard_pairwise(set_a, set_b, config))
+    """Cross-compare two in-memory polygon sets (one tile's results).
+
+    ``backend`` selects the execution backend from the
+    :mod:`repro.backends` registry; every backend returns identical
+    results, so the choice is purely a performance knob.
+    """
+    return CrossCompareResult.from_pairwise(
+        jaccard_pairwise(set_a, set_b, config, backend=backend)
+    )
 
 
 def cross_compare_files(
@@ -69,6 +77,7 @@ def cross_compare_files(
     dir_b: str | Path,
     config: LaunchConfig | None = None,
     parser_workers: int = 2,
+    backend: str = "batch",
 ) -> CrossCompareResult:
     """Cross-compare two on-disk result sets with the SCCG pipeline.
 
@@ -80,12 +89,16 @@ def cross_compare_files(
         Kernel launch configuration for the aggregator.
     parser_workers:
         Worker threads for the parser stage.
+    backend:
+        Execution backend the aggregator dispatches through
+        (:mod:`repro.backends` registry name).
     """
     from repro.pipeline.engine import PipelineOptions, run_pipelined
 
     options = PipelineOptions(
         parser_workers=parser_workers,
         launch_config=config or LaunchConfig(),
+        backend=backend,
     )
     outcome = run_pipelined(dir_a, dir_b, options)
     return CrossCompareResult(

@@ -1,0 +1,67 @@
+"""Execution backends: one algorithm, many executors.
+
+Architecture note
+-----------------
+The paper's core claim is that the exact same PixelBox algorithm runs on
+heterogeneous executors with identical results.  This package is the
+seam that makes the claim structural instead of incidental:
+
+* :mod:`repro.backends.base` defines the :class:`Backend` protocol
+  (``compare_pairs(pairs, config) -> BatchAreas``) and a name-keyed
+  registry of backend factories;
+* each executor lives in its own module and self-registers on import:
+
+  ===============  ====================================================
+  ``scalar``       single-core plain-Python engine (PixelBox-CPU-S)
+  ``vectorized``   level-synchronous NumPy engine, one process
+  ``batch``        production batched kernel (the aggregator's path)
+  ``simt``         simulated-GPU replay of Algorithm 1 (cycle-metered)
+  ``multiprocess`` pair shards across worker processes over
+                   shared-memory CSR edge tables
+  ``auto``         cost-model dispatch (:func:`repro.gpu.cost.recommend_backend`)
+  ===============  ====================================================
+
+* consumers — the pipeline aggregator (:class:`repro.pipeline.device.GpuDevice`),
+  the SDBMS batch operator (:class:`repro.sdbms.plan.BackendAreaProject`),
+  the metrics layer, and the CLI — resolve executors by name through
+  :func:`get_backend` and never import an engine directly.
+
+Every registered backend is covered by the cross-backend parity harness
+(``tests/test_backend_parity.py``), which introspects the registry and
+asserts bit-for-bit equality against the exact overlay reference; a new
+backend gets that coverage by the act of registering.  Future executors
+(a real CUDA kernel, a distributed sharding tier, an async service
+worker) plug in the same way.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import (
+    Backend,
+    available_backends,
+    backend_registry,
+    get_backend,
+    register,
+)
+
+# Import for registration side effects (each module self-registers).
+from repro.backends import auto as _auto  # noqa: E402,F401
+from repro.backends import batch as _batch  # noqa: E402,F401
+from repro.backends import multiprocess as _multiprocess  # noqa: E402,F401
+from repro.backends import scalar as _scalar  # noqa: E402,F401
+from repro.backends import simt as _simt  # noqa: E402,F401
+from repro.backends import vectorized as _vectorized  # noqa: E402,F401
+from repro.backends.auto import AutoBackend, profile_pairs
+from repro.backends.multiprocess import MultiprocessBackend, default_workers
+
+__all__ = [
+    "Backend",
+    "register",
+    "get_backend",
+    "available_backends",
+    "backend_registry",
+    "AutoBackend",
+    "MultiprocessBackend",
+    "default_workers",
+    "profile_pairs",
+]

@@ -1,0 +1,69 @@
+"""Auto backend: cost-model-driven dispatch to a concrete executor.
+
+Profiles the workload (pair count, edge density, MBR extent), asks the
+cycle cost model in :mod:`repro.gpu.cost` which executor amortizes best,
+and delegates.  Selection is pure policy — all backends are bit-for-bit
+identical — so the worst misprediction costs wall-clock, never results.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Pairs, get_backend, register
+from repro.gpu.cost import recommend_backend
+from repro.pixelbox.common import LaunchConfig
+from repro.pixelbox.engine import BatchAreas
+
+__all__ = ["AutoBackend", "profile_pairs"]
+
+
+def profile_pairs(pairs: Pairs) -> tuple[float, float]:
+    """``(mean edges per pair, mean MBR pixels per pair)`` of a workload.
+
+    Edge density counts both polygons' vertical-edge families (the edge
+    list every inner loop walks); the MBR extent is the pair cover box —
+    the first sampling box of Algorithm 1.
+    """
+    if not pairs:
+        return 0.0, 0.0
+    edges = 0
+    pixels = 0
+    for p, q in pairs:
+        edges += len(p.vertical_edges) + len(q.vertical_edges)
+        pixels += p.mbr.cover(q.mbr).size
+    return edges / len(pairs), pixels / len(pairs)
+
+
+@register("auto")
+class AutoBackend:
+    """Cost-model dispatch between batch, vectorized, and multiprocess."""
+
+    name = "auto"
+    description = "cost-model dispatch (pair count + edge density -> backend)"
+
+    def __init__(self, workers: int | None = None):
+        from repro.backends.multiprocess import default_workers
+
+        self.workers = workers if workers is not None else default_workers()
+        #: Name chosen by the most recent :meth:`compare_pairs` call.
+        self.last_choice: str | None = None
+
+    def select(self, pairs: Pairs, config: LaunchConfig | None = None) -> str:
+        """The concrete backend the cost model picks for ``pairs``."""
+        cfg = config or LaunchConfig()
+        mean_edges, mean_pixels = profile_pairs(pairs)
+        return recommend_backend(
+            len(pairs),
+            mean_edges,
+            mean_pixels,
+            cfg.threshold,
+            cfg.block_size,
+            workers=self.workers,
+        )
+
+    def compare_pairs(
+        self, pairs: Pairs, config: LaunchConfig | None = None
+    ) -> BatchAreas:
+        choice = self.select(pairs, config)
+        self.last_choice = choice
+        kwargs = {"workers": self.workers} if choice == "multiprocess" else {}
+        return get_backend(choice, **kwargs).compare_pairs(pairs, config)

@@ -1,0 +1,123 @@
+"""Backend protocol and registry.
+
+A *backend* is one executor for the PixelBox cross-comparison workload:
+given a list of polygon pairs it returns the exact per-pair areas (and
+the kernel work counters) as a
+:class:`~repro.pixelbox.engine.BatchAreas`.  Backends differ only in
+*how* they execute — scalar Python, wide NumPy arrays, sharded worker
+processes, a simulated SIMT device — never in *what* they compute: every
+registered backend must be bit-for-bit identical to the exact overlay
+reference, which ``tests/test_backend_parity.py`` enforces for each
+registry entry automatically.
+
+Backends register a *factory* so callers can instantiate them with
+per-call knobs (e.g. ``get_backend("multiprocess", workers=4)``) while
+``get_backend("multiprocess")`` still yields a sensibly-configured
+default.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.errors import KernelError
+from repro.geometry.polygon import RectilinearPolygon
+from repro.pixelbox.common import LaunchConfig
+from repro.pixelbox.engine import BatchAreas
+
+__all__ = [
+    "Backend",
+    "BackendFactory",
+    "register",
+    "get_backend",
+    "available_backends",
+    "backend_registry",
+    "cover_mbr_config",
+]
+
+
+def cover_mbr_config(config: LaunchConfig | None) -> LaunchConfig:
+    """The config with the production path's tight-MBR policy dropped.
+
+    Backends whose engines always start from the cover MBR (scalar,
+    simt) use this to neutralize ``tight_mbr`` — results are identical
+    either way (both are exact) — while preserving every other launch
+    parameter.
+    """
+    cfg = config or LaunchConfig()
+    if cfg.tight_mbr:
+        cfg = dataclasses.replace(cfg, tight_mbr=False)
+    return cfg
+
+Pairs = list[tuple[RectilinearPolygon, RectilinearPolygon]]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """One PixelBox executor.
+
+    Attributes
+    ----------
+    name:
+        Registry key, stable across releases (CLI ``--backend`` values).
+    description:
+        One-line human-readable summary for ``repro backends``.
+    """
+
+    name: str
+    description: str
+
+    def compare_pairs(
+        self, pairs: Pairs, config: LaunchConfig | None = None
+    ) -> BatchAreas:
+        """Exact areas (+ stats) for every pair, in input order."""
+        ...
+
+
+BackendFactory = Callable[..., Backend]
+
+_REGISTRY: dict[str, BackendFactory] = {}
+
+
+def register(name: str) -> Callable[[BackendFactory], BackendFactory]:
+    """Class decorator adding a backend factory under ``name``.
+
+    The decorated class (or factory callable) must produce objects
+    satisfying the :class:`Backend` protocol when called with no
+    arguments.
+    """
+
+    def deco(factory: BackendFactory) -> BackendFactory:
+        if name in _REGISTRY:
+            raise KernelError(f"backend {name!r} registered twice")
+        _REGISTRY[name] = factory
+        return factory
+
+    return deco
+
+
+def get_backend(name: str, **kwargs) -> Backend:
+    """Instantiate the backend registered under ``name``.
+
+    Keyword arguments are forwarded to the backend factory (e.g.
+    ``workers=4`` for the multiprocess backend).
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KernelError(
+            f"unknown backend {name!r} (registered: {known})"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_backends() -> list[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+def backend_registry() -> dict[str, BackendFactory]:
+    """A copy of the registry (introspection for the parity harness)."""
+    return dict(_REGISTRY)

@@ -1,0 +1,29 @@
+"""Batch backend: the production batched device kernel.
+
+Identical results to the vectorized backend with a different execution
+policy: pairs whose MBR fits a thread block are pixelized directly,
+skipping subdivision (see :mod:`repro.pixelbox.batch`).  This is what
+the pipeline's aggregator launches on the simulated GPU.
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Pairs, register
+from repro.pixelbox.batch import compute_batch
+from repro.pixelbox.common import LaunchConfig
+from repro.pixelbox.engine import BatchAreas
+
+__all__ = ["BatchBackend"]
+
+
+@register("batch")
+class BatchBackend:
+    """Production batched kernel (small pairs skip subdivision)."""
+
+    name = "batch"
+    description = "batched device kernel (the pipeline's production path)"
+
+    def compare_pairs(
+        self, pairs: Pairs, config: LaunchConfig | None = None
+    ) -> BatchAreas:
+        return compute_batch(pairs, config)

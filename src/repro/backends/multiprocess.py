@@ -1,0 +1,326 @@
+"""Shared-memory multiprocess backend: pair shards across worker processes.
+
+The NumPy engines are single-process; on a multi-core host the GIL-free
+way to scale them is process sharding.  The expensive state — the CSR
+edge tables of both pair sides plus the per-pair start boxes — is
+serialized **once** into a single :mod:`multiprocessing.shared_memory`
+segment; each worker attaches zero-copy NumPy views over it, runs the
+level-synchronous planner and the stacked leaf pixelization on its
+contiguous shard of pair indices, and ships back only its slice of the
+intersection-area vector.  The parent scatter-gathers the slices and
+derives unions indirectly (``|p u q| = |p| + |q| - |p n q|``).
+
+Because every pair's result is an exact integer computed independently
+of its shard, the output is bit-for-bit identical to the vectorized
+backend for any worker count — the parity harness checks this.
+
+Small inputs (fewer than ``min_pairs`` candidates) skip the pool and run
+in-process: forking workers for a handful of pairs would cost more than
+the comparison itself.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.backends.base import Pairs, register
+from repro.errors import KernelError
+from repro.pixelbox.common import KernelStats, LaunchConfig, Method
+from repro.pixelbox.engine import BatchAreas, _start_box
+from repro.pixelbox.vectorized import EdgeTable, plan_levels, stacked_leaf_counts
+
+__all__ = ["MultiprocessBackend", "default_workers"]
+
+# Pairs per level-synchronous chunk inside one worker (bounds peak
+# memory; same value as the in-process engines).
+_PAIR_CHUNK = 4096
+
+# Fields of one serialized EdgeTable, in manifest order.
+_TABLE_FIELDS = ("xs", "lo", "hi", "ys", "xlo", "xhi", "offsets")
+
+
+def default_workers() -> int:
+    """Worker-count default: the host's cores, capped at 4."""
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+def _mp_context():
+    """Fork when safe (fast, POSIX, single-threaded), spawn otherwise.
+
+    Forking a multi-threaded process can deadlock the children on locks
+    held by other threads at fork time — and the pipeline calls this
+    backend from its aggregator *thread* — so fork is only used when no
+    other threads are running.  macOS always spawns: system frameworks
+    (Accelerate/objc) are fork-unsafe there even single-threaded, which
+    is why CPython made spawn the macOS default.
+    """
+    if threading.active_count() == 1 and sys.platform != "darwin":
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            pass
+    return multiprocessing.get_context("spawn")
+
+
+# ----------------------------------------------------------------------
+# Shared-memory packing
+# ----------------------------------------------------------------------
+def _pack_arrays(
+    arrays: dict[str, np.ndarray],
+) -> tuple[shared_memory.SharedMemory, dict[str, tuple[int, tuple, str]]]:
+    """Copy ``arrays`` into one shared segment; return it + a manifest.
+
+    The manifest maps array name to ``(byte offset, shape, dtype str)``
+    and is small enough to pickle per task.
+    """
+    manifest: dict[str, tuple[int, tuple, str]] = {}
+    offset = 0
+    for name, arr in arrays.items():
+        offset = -(-offset // arr.itemsize) * arr.itemsize  # align
+        manifest[name] = (offset, arr.shape, arr.dtype.str)
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for name, arr in arrays.items():
+        off, shape, dtype = manifest[name]
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+        view[...] = arr
+    return shm, manifest
+
+
+def _attach(name: str, unregister: bool) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without tracker double-accounting.
+
+    Python < 3.13 registers *attachments* with the resource tracker as if
+    the attaching process owned the segment.  Under ``spawn`` each worker
+    runs its own tracker, which would unlink the segment at worker exit
+    while the parent still uses it — so spawn workers unregister their
+    attachment.  Under ``fork`` the tracker is shared with the parent and
+    its cache is a set, so a child-side unregister would instead erase
+    the parent's own registration; fork workers leave it alone.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if unregister:
+        try:  # pragma: no cover - depends on interpreter internals
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")  # noqa: SLF001
+        except Exception:
+            pass
+    return shm
+
+
+def _views(
+    buf, manifest: dict[str, tuple[int, tuple, str]]
+) -> dict[str, np.ndarray]:
+    """Zero-copy NumPy views over a packed segment."""
+    return {
+        name: np.ndarray(shape, dtype=dtype, buffer=buf, offset=off)
+        for name, (off, shape, dtype) in manifest.items()
+    }
+
+
+def _table_from(views: dict[str, np.ndarray], prefix: str) -> EdgeTable:
+    return EdgeTable(*(views[f"{prefix}.{f}"] for f in _TABLE_FIELDS))
+
+
+def _table_arrays(table: EdgeTable, prefix: str) -> dict[str, np.ndarray]:
+    return {
+        f"{prefix}.{f}": getattr(table, f) for f in _TABLE_FIELDS
+    }
+
+
+# ----------------------------------------------------------------------
+# Worker body
+# ----------------------------------------------------------------------
+def _compute_shard(
+    table_p: EdgeTable,
+    table_q: EdgeTable,
+    boxes: np.ndarray,
+    has_box: np.ndarray,
+    lo: int,
+    hi: int,
+    cfg: LaunchConfig,
+    stats: KernelStats,
+) -> np.ndarray:
+    """Intersection areas for global pair indices ``[lo, hi)``.
+
+    Identical per-pair computation to the vectorized engine: the plan
+    and the stacked leaf pixelization never mix pairs, so sharding at
+    any boundary preserves bit-for-bit results.
+    """
+    n_total = len(has_box)
+    inter = np.zeros(n_total, dtype=np.int64)
+    for c_lo in range(lo, hi, _PAIR_CHUNK):
+        c_hi = min(c_lo + _PAIR_CHUNK, hi)
+        stats.pairs += c_hi - c_lo
+        owner = c_lo + np.flatnonzero(has_box[c_lo:c_hi])
+        dec_i, _, leaves, leaf_owner = plan_levels(
+            table_p, table_q, boxes[owner], owner, cfg, Method.PIXELBOX,
+            stats, n_total,
+        )
+        # plan_levels scatters per global owner index; this chunk only
+        # touched [c_lo, c_hi), so only add that slice (a full-array add
+        # per chunk would make the shard quadratic in pair count).
+        inter[c_lo:c_hi] += dec_i[c_lo:c_hi]
+        stats.leaf_boxes += len(leaves)
+        if len(leaves):
+            sizes = (leaves[:, 2] - leaves[:, 0]) * (
+                leaves[:, 3] - leaves[:, 1]
+            )
+            stats.pixel_tests += 2 * int(sizes.sum())
+            leaf_i, _ = stacked_leaf_counts(
+                table_p, table_q, leaves, leaf_owner, want_union=False,
+                leaf_mode=cfg.leaf_mode,
+            )
+            np.add.at(inter, leaf_owner, leaf_i)
+    return inter[lo:hi]
+
+
+def _worker(
+    shm_name: str,
+    manifest: dict[str, tuple[int, tuple, str]],
+    lo: int,
+    hi: int,
+    cfg: LaunchConfig,
+    unregister: bool,
+) -> tuple[int, np.ndarray, dict[str, int]]:
+    """Pool task: attach, compute one shard, detach."""
+    shm = _attach(shm_name, unregister)
+    try:
+        views = _views(shm.buf, manifest)
+        stats = KernelStats()
+        inter = _compute_shard(
+            _table_from(views, "p"),
+            _table_from(views, "q"),
+            views["boxes"],
+            views["has_box"],
+            lo,
+            hi,
+            cfg,
+            stats,
+        )
+        # Copy out: the view's backing segment dies with this task.
+        return lo, np.array(inter, copy=True), stats.as_dict()
+    finally:
+        shm.close()
+
+
+# ----------------------------------------------------------------------
+# Backend
+# ----------------------------------------------------------------------
+@register("multiprocess")
+class MultiprocessBackend:
+    """Shared-memory pair sharding across worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count; defaults to :func:`default_workers`.
+    min_pairs:
+        Below this many pairs the pool is skipped and the shard runs
+        in-process (identical results, no fork overhead).
+    """
+
+    name = "multiprocess"
+    description = "pair shards across processes over shared-memory CSR tables"
+
+    def __init__(self, workers: int | None = None, min_pairs: int = 256):
+        resolved = default_workers() if workers is None else workers
+        if resolved < 1:
+            raise KernelError(f"workers must be >= 1, got {resolved}")
+        self.workers = resolved
+        self.min_pairs = min_pairs
+
+    def compare_pairs(
+        self, pairs: Pairs, config: LaunchConfig | None = None
+    ) -> BatchAreas:
+        cfg = config or LaunchConfig()
+        n = len(pairs)
+        stats = KernelStats()
+        if n == 0:
+            zero = np.zeros(0, dtype=np.int64)
+            return BatchAreas(zero, zero.copy(), zero.copy(), zero.copy(), stats)
+
+        table_p = EdgeTable.build([p for p, _ in pairs])
+        table_q = EdgeTable.build([q for _, q in pairs])
+        boxes = np.zeros((n, 4), dtype=np.int64)
+        has_box = np.zeros(n, dtype=bool)
+        a_p = np.zeros(n, dtype=np.int64)
+        a_q = np.zeros(n, dtype=np.int64)
+        for i, (p, q) in enumerate(pairs):
+            a_p[i] = p.area
+            a_q[i] = q.area
+            start = _start_box(p, q, Method.PIXELBOX, cfg)
+            if start is not None:
+                has_box[i] = True
+                boxes[i] = start.as_tuple()
+
+        if self.workers == 1 or n < max(self.min_pairs, 2 * self.workers):
+            inter = _compute_shard(
+                table_p, table_q, boxes, has_box, 0, n, cfg, stats
+            )
+        else:
+            inter = self._run_pool(table_p, table_q, boxes, has_box, cfg, stats)
+
+        union = a_p + a_q - inter
+        if np.any(union < 0):
+            raise KernelError("negative union area — inconsistent inputs")
+        return BatchAreas(inter, union, a_p, a_q, stats)
+
+    # ------------------------------------------------------------------
+    def _run_pool(
+        self,
+        table_p: EdgeTable,
+        table_q: EdgeTable,
+        boxes: np.ndarray,
+        has_box: np.ndarray,
+        cfg: LaunchConfig,
+        stats: KernelStats,
+    ) -> np.ndarray:
+        n = len(has_box)
+        arrays = {
+            **_table_arrays(table_p, "p"),
+            **_table_arrays(table_q, "q"),
+            "boxes": boxes,
+            "has_box": has_box,
+        }
+        try:
+            shm, manifest = _pack_arrays(arrays)
+        except OSError:  # pragma: no cover - hosts without shm support
+            return _compute_shard(
+                table_p, table_q, boxes, has_box, 0, n, cfg, stats
+            )
+        inter = np.zeros(n, dtype=np.int64)
+        try:
+            step = -(-n // self.workers)
+            shards = [(lo, min(lo + step, n)) for lo in range(0, n, step)]
+            ctx = _mp_context()
+            unregister = ctx.get_start_method() != "fork"
+            with ProcessPoolExecutor(
+                max_workers=len(shards), mp_context=ctx
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        _worker, shm.name, manifest, lo, hi, cfg, unregister
+                    )
+                    for lo, hi in shards
+                ]
+                for future in futures:
+                    lo, shard_inter, shard_stats = future.result()
+                    inter[lo : lo + len(shard_inter)] = shard_inter
+                    part = KernelStats(**shard_stats)
+                    stats.merge(part)
+        finally:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        return inter

@@ -1,0 +1,27 @@
+"""Vectorized backend: the level-synchronous NumPy engine.
+
+One process, wide arrays: all pairs subdivide level by level and all
+leaves pixelize in one stacked XOR-scan launch — the in-process image of
+the GPU's execution shape (see :mod:`repro.pixelbox.vectorized`).
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import Pairs, register
+from repro.pixelbox.common import LaunchConfig, Method
+from repro.pixelbox.engine import BatchAreas, compute_pairs
+
+__all__ = ["VectorizedBackend"]
+
+
+@register("vectorized")
+class VectorizedBackend:
+    """Level-synchronous NumPy execution of the PIXELBOX variant."""
+
+    name = "vectorized"
+    description = "level-synchronous NumPy engine (single process)"
+
+    def compare_pairs(
+        self, pairs: Pairs, config: LaunchConfig | None = None
+    ) -> BatchAreas:
+        return compute_pairs(pairs, Method.PIXELBOX, config)

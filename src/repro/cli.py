@@ -3,10 +3,11 @@
 Subcommands::
 
     repro list-experiments
+    repro backends
     repro run fig7 [--full]
     repro run-all [--full]
     repro generate-suite [--scale 0.02] [--root DIR]
-    repro compare DIR_A DIR_B [--no-migration]
+    repro compare DIR_A DIR_B [--no-migration] [--backend NAME]
 """
 
 from __future__ import annotations
@@ -34,6 +35,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-experiments", help="list experiment ids")
 
+    sub.add_parser(
+        "backends", help="list registered execution backends"
+    )
+
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment", help="experiment id, e.g. fig7")
     run.add_argument(
@@ -52,6 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_.add_argument("dir_a", type=Path)
     cmp_.add_argument("dir_b", type=Path)
     cmp_.add_argument("--no-migration", action="store_true")
+    cmp_.add_argument(
+        "--backend",
+        default="batch",
+        help=(
+            "execution backend for the aggregator (see `repro backends`; "
+            "'auto' picks by cost model)"
+        ),
+    )
     return parser
 
 
@@ -64,6 +77,13 @@ def main(argv: list[str] | None = None) -> int:
 
         for name in experiment_names():
             print(name)
+        return 0
+
+    if args.command == "backends":
+        from repro.backends import available_backends, get_backend
+
+        for name in available_backends():
+            print(f"{name:14s} {get_backend(name).description}")
         return 0
 
     if args.command == "run":
@@ -97,11 +117,15 @@ def main(argv: list[str] | None = None) -> int:
         from repro.pipeline.migration import MigrationConfig
 
         if args.no_migration:
-            outcome = run_pipelined(args.dir_a, args.dir_b, PipelineOptions())
+            outcome = run_pipelined(
+                args.dir_a, args.dir_b, PipelineOptions(backend=args.backend)
+            )
         else:
             outcome = run_pipelined(
                 args.dir_a, args.dir_b,
-                PipelineOptions(migration=MigrationConfig()),
+                PipelineOptions(
+                    migration=MigrationConfig(), backend=args.backend
+                ),
             )
         print(
             f"J' = {outcome.jaccard_mean:.4f} over "

@@ -20,7 +20,13 @@ from repro.gpu.memory import (
     soa_push_addresses,
 )
 
-__all__ = ["OptimizationFlags", "CostModel", "CycleBreakdown"]
+__all__ = [
+    "OptimizationFlags",
+    "CostModel",
+    "CycleBreakdown",
+    "estimate_comparison_cycles",
+    "recommend_backend",
+]
 
 # ALU cycles per edge test in the pixel/box position loops (compare +
 # select + accumulate).
@@ -161,3 +167,89 @@ class CostModel:
         out = CycleBreakdown()
         out.sync = count * self.device.sync_cycles
         return out
+
+
+# ----------------------------------------------------------------------
+# Workload-level cost estimation (execution-backend selection)
+# ----------------------------------------------------------------------
+# A forked worker process costs roughly this many modeled ALU cycles to
+# spin up (interpreter fork + pool plumbing); sharding only pays off once
+# each worker amortizes it many times over.
+_PROCESS_SPINUP_CYCLES = 2.0e8
+# Workers must amortize their spin-up by at least this factor before the
+# multiprocess backend is recommended.
+_SPINUP_AMORTIZATION = 4.0
+# Branching factor of the sampling-box subdivision per level is the block
+# size; a level's frontier shrinks roughly by the decided fraction.
+_LEVEL_DECIDED_FRACTION = 0.5
+
+
+def estimate_comparison_cycles(
+    n_pairs: int,
+    mean_edges: float,
+    mean_mbr_pixels: float,
+    pixel_threshold: int,
+    block_size: int = 64,
+) -> float:
+    """Modeled ALU cycles for one batched PixelBox comparison.
+
+    The estimate prices the two compute phases of the algorithm with the
+    same per-edge-test constant the SIMT model charges:
+
+    * **pixelization** — leaves are smaller than the threshold ``T``;
+      subdivision decides large uniform areas without pixel work, so the
+      pixelized area per pair is the MBR capped at ``T`` per surviving
+      leaf chain, growing with the number of subdivision levels;
+    * **classification** — each level classifies ``block_size`` sub-boxes
+      against every edge; the level count is logarithmic in the
+      MBR-to-threshold ratio.
+
+    Absolute numbers are modeled, not measured — callers compare them
+    against each other and against fixed spin-up charges, exactly how
+    the rest of this module is used.
+    """
+    if n_pairs <= 0:
+        return 0.0
+    pixels = max(mean_mbr_pixels, 1.0)
+    threshold = max(pixel_threshold, 1)
+    levels = 0.0
+    remaining = pixels
+    while remaining > threshold and levels < 32:
+        levels += 1.0
+        remaining /= block_size
+    leaf_pixels = min(pixels, threshold * (1.0 + levels * _LEVEL_DECIDED_FRACTION))
+    pixelize = leaf_pixels * mean_edges * _EDGE_TEST_ALU
+    classify = levels * block_size * mean_edges * _EDGE_TEST_ALU
+    return n_pairs * (pixelize + classify)
+
+
+def recommend_backend(
+    n_pairs: int,
+    mean_edges: float,
+    mean_mbr_pixels: float,
+    pixel_threshold: int,
+    block_size: int = 64,
+    workers: int = 1,
+) -> str:
+    """Backend choice for a workload profile (pair count + edge density).
+
+    Policy only — every backend returns bit-identical results, so a
+    misprediction costs time, never correctness:
+
+    * heavy workloads that amortize process spin-up -> ``"multiprocess"``;
+    * subdivision-dominated workloads (MBRs far above the pixelization
+      threshold, where the batch path's skip-subdivision policy never
+      applies) -> ``"vectorized"``;
+    * everything else -> ``"batch"``, the production default.
+    """
+    cycles = estimate_comparison_cycles(
+        n_pairs, mean_edges, mean_mbr_pixels, pixel_threshold, block_size
+    )
+    if (
+        workers > 1
+        and cycles > _PROCESS_SPINUP_CYCLES * _SPINUP_AMORTIZATION * workers
+    ):
+        return "multiprocess"
+    if mean_mbr_pixels > 4 * pixel_threshold:
+        return "vectorized"
+    return "batch"

@@ -23,7 +23,7 @@ from repro.exact.decompose import decompose
 from repro.exact.measure import union_area_of_boxes
 from repro.geometry.polygon import RectilinearPolygon
 from repro.index.join import mbr_pair_join
-from repro.pixelbox.api import batch_areas
+from repro.pixelbox.api import compare_pairs
 from repro.pixelbox.common import LaunchConfig
 from repro.pixelbox.engine import BatchAreas
 
@@ -86,8 +86,13 @@ def jaccard_pairwise(
     set_a: list[RectilinearPolygon],
     set_b: list[RectilinearPolygon],
     config: LaunchConfig | None = None,
+    backend: str = "batch",
 ) -> PairwiseJaccard:
     """End-to-end ``J'`` of two polygon sets (join + kernel + aggregate).
+
+    ``backend`` names the execution backend the kernel launch dispatches
+    through (:mod:`repro.backends`); results are identical for every
+    registered backend.
 
     >>> from repro.geometry import Box, RectilinearPolygon
     >>> a = [RectilinearPolygon.from_box(Box(0, 0, 4, 4))]
@@ -96,7 +101,7 @@ def jaccard_pairwise(
     0.5
     """
     join = mbr_pair_join(set_a, set_b)
-    areas = batch_areas(join.pairs(set_a, set_b), config)
+    areas = compare_pairs(join.pairs(set_a, set_b), backend, config)
     return jaccard_from_areas(
         areas, join.left_idx, join.right_idx, len(set_a), len(set_b)
     )

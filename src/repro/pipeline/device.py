@@ -18,10 +18,10 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.backends import get_backend
 from repro.errors import DeviceError
 from repro.geometry.polygon import RectilinearPolygon
 from repro.io.parser_gpu import gpu_parse
-from repro.pixelbox.batch import compute_batch
 from repro.pixelbox.common import LaunchConfig
 from repro.pixelbox.engine import BatchAreas
 
@@ -48,6 +48,7 @@ class GpuDevice:
         name: str = "gpu0",
         launch_overhead: float = 0.002,
         slowdown: float = 1.0,
+        backend: str = "batch",
     ) -> None:
         if launch_overhead < 0:
             raise DeviceError("launch overhead cannot be negative")
@@ -56,6 +57,10 @@ class GpuDevice:
         self.name = name
         self.launch_overhead = launch_overhead
         self.slowdown = slowdown
+        self.backend_name = backend
+        # Resolve through the registry up front so a typo fails at device
+        # construction, not mid-pipeline inside a worker thread.
+        self._backend = get_backend(backend)
         self.stats = DeviceStats()
         self._lock = threading.Lock()
 
@@ -65,14 +70,14 @@ class GpuDevice:
         pairs: list[tuple[RectilinearPolygon, RectilinearPolygon]],
         config: LaunchConfig | None = None,
     ) -> BatchAreas:
-        """Launch the PixelBox batch kernel (exclusive access)."""
+        """Launch the configured execution backend (exclusive access)."""
         wait_start = time.perf_counter()
         with self._lock:
             acquired = time.perf_counter()
             self.stats.lock_wait_seconds += acquired - wait_start
             self._charge_overhead()
             t0 = time.perf_counter()
-            result = compute_batch(pairs, config)
+            result = self._backend.compare_pairs(pairs, config)
             kernel = time.perf_counter() - t0
             self._charge_slowdown(kernel)
             self.stats.launches += 1
@@ -115,6 +120,7 @@ class GpuDevice:
 
     def __repr__(self) -> str:
         return (
-            f"GpuDevice({self.name!r}, overhead={self.launch_overhead * 1e3:.1f}ms, "
+            f"GpuDevice({self.name!r}, backend={self.backend_name!r}, "
+            f"overhead={self.launch_overhead * 1e3:.1f}ms, "
             f"slowdown={self.slowdown:g}, launches={self.stats.launches})"
         )

@@ -65,6 +65,10 @@ class PipelineOptions:
     )
     devices: list[GpuDevice] | None = None
     migration: MigrationConfig | None = None
+    #: Execution backend the aggregator's default device dispatches to
+    #: (a :mod:`repro.backends` registry name).  Explicitly supplied
+    #: devices keep their own backend configuration.
+    backend: str = "batch"
 
     def __post_init__(self) -> None:
         if self.parser_workers < 1:
@@ -74,7 +78,7 @@ class PipelineOptions:
 
     def make_devices(self) -> list[GpuDevice]:
         """The device list (freshly created default when unset)."""
-        return self.devices if self.devices else [GpuDevice()]
+        return self.devices if self.devices else [GpuDevice(backend=self.backend)]
 
 
 @dataclass(slots=True)

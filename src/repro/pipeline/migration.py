@@ -90,12 +90,20 @@ def parser_migrator(
     """CPU-to-GPU migration: parse on an idle device.
 
     The idleness signal is the paper's: the aggregator's input buffer ran
-    empty, meaning the GPUs are starved for work.
+    empty, meaning the GPUs are starved for work.  An empty buffer that
+    has *never held a batch* is not starvation — it is the pipeline
+    still filling — so migration waits for the first batch to have
+    flowed through before trusting the watermark (otherwise every run
+    would open by dumping parse work on the device during warm-up).
     """
     while not stop.is_set():
         if parse_in.closed and parse_in.is_empty():
             return
-        if not batches_in.is_empty():
+        if batches_in.closed:
+            # Downstream shut down (run finished or a stage failed):
+            # parse work has nowhere to flow, stop migrating it.
+            return
+        if batches_in.stats.puts == 0 or not batches_in.is_empty():
             time.sleep(migration.poll_seconds)
             continue
         device = next((d for d in devices if d.try_acquire_idle()), None)

@@ -7,6 +7,12 @@ worker), aggregator (drives the GPU, single instance so kernel launches
 are consolidated).  Stage workers run as daemon threads owned by the
 engine; buffer closing is the engine's job so migration threads can share
 the buffers safely.
+
+The aggregator does not execute PixelBox itself: each device dispatches
+its launches through the execution-backend registry
+(:mod:`repro.backends`), so the same pipeline topology drives the batched
+kernel, the multiprocess shards, or any future executor — selected by
+:attr:`repro.pipeline.engine.PipelineOptions.backend` or per-device.
 """
 
 from __future__ import annotations
@@ -140,12 +146,13 @@ def aggregator_worker(
     batch_pairs: int,
     timers: StageTimers,
 ) -> None:
-    """Stage 4: PixelBox on the GPU, with input data batching.
+    """Stage 4: PixelBox via each device's execution backend, batched.
 
     Small filter outputs are grouped until ``batch_pairs`` pairs are
     pending (or the input runs dry) and shipped in one kernel launch —
     the batching that amortizes the device's per-launch overhead (§4.1).
-    Multiple devices are used round-robin.
+    Multiple devices are used round-robin; each launch dispatches through
+    the device's registered backend (:mod:`repro.backends`).
     """
     device_cursor = 0
     while True:

@@ -5,6 +5,9 @@ Most callers need exactly one of these:
 * :func:`pair_areas` — areas for a single polygon pair.
 * :func:`batch_areas` — areas for a list of pairs on the fast batched
   device kernel (the production path used by the pipeline aggregator).
+* :func:`compare_pairs` — areas for a list of pairs on a *named
+  execution backend* from the :mod:`repro.backends` registry
+  (``"batch"``, ``"vectorized"``, ``"multiprocess"``, ``"auto"``, ...).
 * :func:`variant_areas` — areas for a list of pairs with an explicit
   algorithm variant, used by the evaluation harness to compare
   PixelOnly / PixelBox-NoSep / PixelBox.
@@ -13,11 +16,10 @@ Most callers need exactly one of these:
 from __future__ import annotations
 
 from repro.geometry.polygon import RectilinearPolygon
-from repro.pixelbox.batch import compute_batch
 from repro.pixelbox.common import LaunchConfig, Method, PairAreas
 from repro.pixelbox.engine import BatchAreas, compute_pair, compute_pairs
 
-__all__ = ["pair_areas", "batch_areas", "variant_areas"]
+__all__ = ["pair_areas", "batch_areas", "compare_pairs", "variant_areas"]
 
 
 def pair_areas(
@@ -43,7 +45,25 @@ def batch_areas(
     config: LaunchConfig | None = None,
 ) -> BatchAreas:
     """Areas for many pairs at once on the batched device kernel."""
-    return compute_batch(pairs, config)
+    return compare_pairs(pairs, backend="batch", config=config)
+
+
+def compare_pairs(
+    pairs: list[tuple[RectilinearPolygon, RectilinearPolygon]],
+    backend: str = "batch",
+    config: LaunchConfig | None = None,
+    **backend_options,
+) -> BatchAreas:
+    """Areas for many pairs on a named execution backend.
+
+    ``backend_options`` are forwarded to the backend factory, e.g.
+    ``compare_pairs(pairs, backend="multiprocess", workers=4)``.  All
+    backends return bit-for-bit identical results; the name only selects
+    the execution strategy.
+    """
+    from repro.backends import get_backend
+
+    return get_backend(backend, **backend_options).compare_pairs(pairs, config)
 
 
 def variant_areas(

@@ -1,0 +1,153 @@
+"""Cross-backend parity harness.
+
+The architectural guarantee of :mod:`repro.backends` is that every
+registered executor computes the *same function*: exact integer
+intersection and union areas, bit-for-bit equal to the exact overlay
+reference.  This harness enforces the guarantee by introspecting the
+registry — a newly registered backend is covered by the act of
+registering, with no test changes.
+
+Workloads are seeded and randomized at three shapes:
+
+* ``small``   — pixel-scale polygons plus handcrafted degenerate cases
+  (identical, disjoint, touching, single-pixel);
+* ``medium``  — polygons whose pair MBRs exceed the pixelization
+  threshold, forcing sampling-box subdivision in every engine;
+* ``tile``    — a synthetic pathology tile pair joined by MBR overlap,
+  the production workload (large enough to engage the multiprocess
+  backend's worker pool at its default ``min_pairs``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import available_backends, backend_registry, get_backend
+from repro.exact import boolean
+from repro.geometry.box import Box
+from repro.geometry.polygon import RectilinearPolygon
+from repro.geometry.raster import extract_polygons, fill_holes
+from repro.pixelbox.common import LaunchConfig
+
+
+def random_pair(rng, h: int = 12, w: int = 14, density: float = 0.5):
+    """Two random hole-free polygons sharing a coordinate frame."""
+
+    def one():
+        while True:
+            mask = fill_holes(rng.random((h, w)) < density)
+            polys = extract_polygons(mask)
+            if polys:
+                return max(polys, key=lambda p: p.area)
+
+    return one(), one()
+
+EXPECTED_BACKENDS = {
+    "auto", "batch", "multiprocess", "scalar", "simt", "vectorized",
+}
+
+
+def _edge_case_pairs():
+    """Degenerate pairs every backend must agree on."""
+    unit = RectilinearPolygon.from_box(Box(0, 0, 1, 1))
+    square = RectilinearPolygon.from_box(Box(0, 0, 8, 8))
+    shifted = RectilinearPolygon.from_box(Box(4, 4, 12, 12))
+    disjoint = RectilinearPolygon.from_box(Box(100, 100, 108, 108))
+    touching = RectilinearPolygon.from_box(Box(8, 0, 16, 8))
+    tall = RectilinearPolygon.from_box(Box(0, 0, 1, 200))
+    wide = RectilinearPolygon.from_box(Box(0, 0, 200, 1))
+    return [
+        (unit, unit),
+        (square, square),
+        (square, shifted),
+        (square, disjoint),
+        (square, touching),
+        (tall, wide),
+        (unit, square),
+    ]
+
+
+def _workload(kind: str):
+    rng = np.random.default_rng(20260730)
+    if kind == "small":
+        pairs = [random_pair(rng) for _ in range(60)]
+        return pairs + _edge_case_pairs()
+    if kind == "medium":
+        # MBRs of ~100x120 pixels: far above the default threshold
+        # (64**2 / 2), so every engine runs the subdivision loop.
+        return [random_pair(rng, h=100, w=120) for _ in range(12)]
+    if kind == "tile":
+        from repro.data.synth import generate_tile_pair
+        from repro.index.join import mbr_pair_join
+
+        set_a, set_b = generate_tile_pair(
+            seed=4242, nuclei=400, width=512, height=512
+        )
+        join = mbr_pair_join(set_a, set_b)
+        return join.pairs(set_a, set_b)
+    raise AssertionError(kind)
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    """Workloads plus their exact-overlay reference areas (computed once)."""
+    out = {}
+    for kind in ("small", "medium", "tile"):
+        pairs = _workload(kind)
+        inter = np.array(
+            [boolean.intersection(p, q).area for p, q in pairs],
+            dtype=np.int64,
+        )
+        area_p = np.array([p.area for p, _ in pairs], dtype=np.int64)
+        area_q = np.array([q.area for _, q in pairs], dtype=np.int64)
+        out[kind] = (pairs, inter, area_p + area_q - inter)
+    return out
+
+
+def test_registry_has_expected_backends():
+    assert EXPECTED_BACKENDS <= set(available_backends())
+
+
+@pytest.mark.parametrize("name", sorted(backend_registry()))
+@pytest.mark.parametrize("kind", ["small", "medium", "tile"])
+def test_backend_matches_exact_reference(name, kind, workloads):
+    """Every registered backend is bit-for-bit the exact overlay."""
+    if name == "simt" and kind == "tile":
+        pytest.skip("pure-Python replay at tile scale belongs to tier 2")
+    pairs, ref_inter, ref_union = workloads[kind]
+    result = get_backend(name).compare_pairs(pairs)
+    assert len(result) == len(pairs)
+    assert np.array_equal(result.intersection, ref_inter)
+    assert np.array_equal(result.union, ref_union)
+    assert result.stats.pairs == len(pairs)
+
+
+@pytest.mark.slow
+def test_simt_matches_exact_reference_tile(workloads):
+    """The tile-scale simt run, kept out of the fast tier."""
+    pairs, ref_inter, ref_union = workloads["tile"]
+    result = get_backend("simt").compare_pairs(pairs)
+    assert np.array_equal(result.intersection, ref_inter)
+    assert np.array_equal(result.union, ref_union)
+
+
+@pytest.mark.parametrize("workers", [2, 3, 4])
+def test_multiprocess_sharding_is_bit_identical(workers, workloads):
+    """Any shard boundary yields the same bits (forced pool path)."""
+    pairs, ref_inter, ref_union = workloads["tile"]
+    backend = get_backend("multiprocess", workers=workers, min_pairs=1)
+    result = backend.compare_pairs(pairs)
+    assert np.array_equal(result.intersection, ref_inter)
+    assert np.array_equal(result.union, ref_union)
+    assert result.stats.pairs == len(pairs)
+
+
+def test_backends_agree_under_nondefault_config(workloads):
+    """Parity holds for non-default launch parameters, too."""
+    pairs, ref_inter, ref_union = workloads["small"]
+    cfg = LaunchConfig(block_size=16, pixel_threshold=64)
+    for name in available_backends():
+        result = get_backend(name).compare_pairs(pairs, cfg)
+        assert np.array_equal(result.intersection, ref_inter), name
+        assert np.array_equal(result.union, ref_union), name

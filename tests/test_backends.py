@@ -1,0 +1,228 @@
+"""Unit tests for the execution-backend layer: registry, selection, wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    AutoBackend,
+    Backend,
+    available_backends,
+    default_workers,
+    get_backend,
+    profile_pairs,
+    register,
+)
+from repro.backends.base import backend_registry
+from repro.errors import KernelError
+from repro.geometry.box import Box
+from repro.geometry.polygon import RectilinearPolygon
+from repro.gpu.cost import estimate_comparison_cycles, recommend_backend
+from repro.pipeline.device import GpuDevice
+from repro.pixelbox.api import compare_pairs
+from repro.pixelbox.common import LaunchConfig
+
+
+def _pairs(n: int = 8):
+    out = []
+    for i in range(n):
+        p = RectilinearPolygon.from_box(Box(i, 0, i + 6, 6))
+        q = RectilinearPolygon.from_box(Box(i + 2, 2, i + 8, 8))
+        out.append((p, q))
+    return out
+
+
+class TestRegistry:
+    def test_known_backends_registered(self):
+        assert {"scalar", "vectorized", "batch", "simt", "multiprocess",
+                "auto"} <= set(available_backends())
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KernelError, match="unknown backend"):
+            get_backend("cuda")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(KernelError, match="twice"):
+            register("batch")(lambda: None)
+
+    def test_instances_satisfy_protocol(self):
+        for name in available_backends():
+            instance = get_backend(name)
+            assert isinstance(instance, Backend)
+            assert instance.name == name
+            assert instance.description
+
+    def test_registry_copy_is_isolated(self):
+        snapshot = backend_registry()
+        snapshot["bogus"] = lambda: None
+        assert "bogus" not in available_backends()
+
+    def test_factory_kwargs_forwarded(self):
+        backend = get_backend("multiprocess", workers=2, min_pairs=5)
+        assert backend.workers == 2 and backend.min_pairs == 5
+
+
+class TestMultiprocessBackend:
+    def test_invalid_workers(self):
+        with pytest.raises(KernelError):
+            get_backend("multiprocess", workers=0)
+
+    def test_empty_pairs(self):
+        result = get_backend("multiprocess").compare_pairs([])
+        assert len(result) == 0
+
+    def test_default_workers_bounds(self):
+        assert 1 <= default_workers() <= 4
+
+    def test_uneven_shards_match_in_process(self):
+        pairs = _pairs(11)  # 11 pairs over 3 workers: shards of 4/4/3
+        pooled = get_backend(
+            "multiprocess", workers=3, min_pairs=1
+        ).compare_pairs(pairs)
+        serial = get_backend("vectorized").compare_pairs(pairs)
+        assert np.array_equal(pooled.intersection, serial.intersection)
+        assert np.array_equal(pooled.union, serial.union)
+        assert pooled.stats.pairs == 11
+
+    def test_small_input_skips_pool(self):
+        backend = get_backend("multiprocess", workers=4, min_pairs=256)
+        result = backend.compare_pairs(_pairs(4))
+        assert result.stats.pairs == 4
+
+    def test_pool_from_worker_thread(self):
+        """Launching from a thread (the pipeline's shape) must not fork
+        a multi-threaded process — the context falls back to spawn."""
+        import threading
+
+        pairs = _pairs(10)
+        ref = get_backend("vectorized").compare_pairs(pairs)
+        out: dict = {}
+
+        def body():
+            backend = get_backend("multiprocess", workers=2, min_pairs=1)
+            out["result"] = backend.compare_pairs(pairs)
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert np.array_equal(out["result"].intersection, ref.intersection)
+
+
+class TestCostModelSelection:
+    CFG = LaunchConfig()
+
+    def test_zero_pairs_cost_nothing(self):
+        assert estimate_comparison_cycles(0, 30, 500, self.CFG.threshold) == 0.0
+
+    def test_cost_grows_with_pairs_and_edges(self):
+        base = estimate_comparison_cycles(100, 30, 500, self.CFG.threshold)
+        assert estimate_comparison_cycles(200, 30, 500, self.CFG.threshold) > base
+        assert estimate_comparison_cycles(100, 60, 500, self.CFG.threshold) > base
+
+    def test_small_workload_prefers_batch(self):
+        choice = recommend_backend(
+            100, 30, 400, self.CFG.threshold, workers=4
+        )
+        assert choice == "batch"
+
+    def test_heavy_workload_prefers_multiprocess(self):
+        choice = recommend_backend(
+            2_000_000, 60, 1500, self.CFG.threshold, workers=4
+        )
+        assert choice == "multiprocess"
+
+    def test_single_worker_never_multiprocess(self):
+        choice = recommend_backend(
+            2_000_000, 60, 1500, self.CFG.threshold, workers=1
+        )
+        assert choice != "multiprocess"
+
+    def test_subdivision_dominated_prefers_vectorized(self):
+        choice = recommend_backend(
+            100, 30, 40 * self.CFG.threshold, self.CFG.threshold, workers=1
+        )
+        assert choice == "vectorized"
+
+    def test_profile_pairs(self):
+        pairs = _pairs(3)
+        mean_edges, mean_pixels = profile_pairs(pairs)
+        assert mean_edges == 4.0  # two boxes, two vertical edges each
+        assert mean_pixels == 64.0  # 8x8 cover MBR
+        assert profile_pairs([]) == (0.0, 0.0)
+
+    def test_auto_backend_records_choice(self):
+        auto = AutoBackend(workers=4)
+        result = auto.compare_pairs(_pairs(6))
+        assert auto.last_choice == "batch"
+        ref = get_backend("batch").compare_pairs(_pairs(6))
+        assert np.array_equal(result.intersection, ref.intersection)
+
+
+class TestWiring:
+    def test_device_dispatches_through_backend(self):
+        device = GpuDevice(launch_overhead=0.0, backend="vectorized")
+        result = device.run_aggregate(_pairs(5))
+        assert len(result) == 5
+        assert device.stats.launches == 1
+        assert "vectorized" in repr(device)
+
+    def test_device_rejects_unknown_backend_eagerly(self):
+        with pytest.raises(KernelError):
+            GpuDevice(backend="nope")
+
+    def test_pixelbox_api_compare_pairs(self):
+        via_api = compare_pairs(_pairs(5), backend="multiprocess", workers=2)
+        ref = compare_pairs(_pairs(5))
+        assert np.array_equal(via_api.intersection, ref.intersection)
+
+    def test_pipeline_options_backend(self, small_dataset):
+        from repro.pipeline.engine import PipelineOptions, run_pipelined
+
+        dir_a, dir_b = small_dataset
+        baseline = run_pipelined(dir_a, dir_b, PipelineOptions())
+        routed = run_pipelined(
+            dir_a, dir_b, PipelineOptions(backend="vectorized")
+        )
+        assert routed.jaccard_mean == pytest.approx(baseline.jaccard_mean)
+        assert routed.intersecting_pairs == baseline.intersecting_pairs
+
+    def test_sdbms_backend_plan_matches_row_plans(self, tile_pair):
+        from repro.sdbms.queries import run_cross_compare
+
+        set_a, set_b = tile_pair
+        row_at_a_time = run_cross_compare(set_a, set_b, optimized=True)
+        batched = run_cross_compare(set_a, set_b, backend="batch")
+        assert batched.jaccard_mean == pytest.approx(
+            row_at_a_time.jaccard_mean
+        )
+        assert batched.pair_count == row_at_a_time.pair_count
+
+    def test_sdbms_backend_plan_explain(self):
+        from repro.sdbms.queries import build_backend_plan
+        from repro.sdbms.table import PolygonTable
+
+        plan = build_backend_plan(
+            PolygonTable("a", []), PolygonTable("b", []), backend="auto"
+        )
+        assert "BackendAreaProject" in plan.explain()
+
+    def test_cli_backends_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("scalar", "vectorized", "batch", "multiprocess", "auto"):
+            assert name in out
+
+    def test_cli_compare_with_backend(self, small_dataset, capsys):
+        from repro.cli import main
+
+        dir_a, dir_b = small_dataset
+        code = main([
+            "compare", str(dir_a), str(dir_b),
+            "--no-migration", "--backend", "vectorized",
+        ])
+        assert code == 0
+        assert "J' =" in capsys.readouterr().out
