@@ -1,0 +1,125 @@
+"""Service-throughput benchmark: warm pooled serving vs per-call spin-up.
+
+The scenario the service layer exists for: many small concurrent
+``compare_pairs`` requests.  The baseline pays the status-quo cost — a
+fresh multiprocess backend per request, so every request forks a worker
+pool and packs its own shared-memory tables.  The pooled run serves the
+same requests through :class:`repro.service.ComparisonService` with a
+persistent multiprocess backend: forking happens once at warm-up,
+requests coalesce into cost-model-sized dispatches.
+
+Acceptance bar (ISSUE 2): pooled warm-backend serving beats per-call
+backend construction by >= 2x, and every coalesced response is
+bit-for-bit the sequential per-request result (asserted here over every
+request, on top of the dedicated service parity tests).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import numpy as np
+
+from repro.backends import get_backend
+from repro.data.synth import generate_tile_pair
+from repro.index.join import mbr_pair_join
+from repro.service import ComparisonService, ServiceConfig
+
+_WORKERS = 2
+_REQUESTS = 32
+_PAIRS_PER_REQUEST = 24
+
+
+def _request_workloads():
+    """`_REQUESTS` small pair lists, the interactive traffic shape."""
+    chunks = []
+    seed = 300
+    while len(chunks) < _REQUESTS:
+        set_a, set_b = generate_tile_pair(
+            seed=seed, nuclei=200, width=384, height=384
+        )
+        pairs = mbr_pair_join(set_a, set_b).pairs(set_a, set_b)
+        for lo in range(0, len(pairs) - _PAIRS_PER_REQUEST, _PAIRS_PER_REQUEST):
+            chunks.append(pairs[lo : lo + _PAIRS_PER_REQUEST])
+            if len(chunks) == _REQUESTS:
+                break
+        seed += 1
+    return chunks
+
+
+def _run_cold(chunks) -> tuple[float, list]:
+    """Status quo: construct (and fork) a fresh backend per request."""
+    results = []
+    t0 = time.perf_counter()
+    for chunk in chunks:
+        with get_backend(
+            "multiprocess", workers=_WORKERS, min_pairs=1
+        ) as backend:
+            results.append(backend.compare_pairs(chunk))
+    return time.perf_counter() - t0, results
+
+
+def _run_warm(chunks) -> tuple[float, list, object]:
+    """Pooled: one warm service, concurrent submits, coalesced dispatch."""
+
+    async def main():
+        config = ServiceConfig(
+            backend="multiprocess",
+            backend_options={"workers": _WORKERS, "min_pairs": 1},
+            coalesce_window=0.01,
+        )
+        async with ComparisonService(config) as service:
+            # Warm-up happened in start(); time only the serving phase.
+            t0 = time.perf_counter()
+            results = await asyncio.gather(
+                *(service.submit(c) for c in chunks)
+            )
+            elapsed = time.perf_counter() - t0
+            return elapsed, results, service.snapshot()
+
+    return asyncio.run(main())
+
+
+def test_service_throughput(benchmark, save_report):
+    chunks = _request_workloads()
+
+    def run():
+        cold_s, cold_results = _run_cold(chunks)
+        warm_s, warm_results, snap = _run_warm(chunks)
+        return cold_s, cold_results, warm_s, warm_results, snap
+
+    cold_s, cold_results, warm_s, warm_results, snap = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Coalesced dispatch is bit-for-bit the per-request result.
+    for cold, warm in zip(cold_results, warm_results):
+        assert np.array_equal(cold.intersection, warm.intersection)
+        assert np.array_equal(cold.union, warm.union)
+        assert np.array_equal(cold.area_p, warm.area_p)
+        assert np.array_equal(cold.area_q, warm.area_q)
+
+    speedup = cold_s / warm_s
+    total_pairs = sum(len(c) for c in chunks)
+    lines = [
+        "Service throughput - warm pooled serving vs per-call backend "
+        "construction",
+        f"{_REQUESTS} concurrent requests x {_PAIRS_PER_REQUEST} pairs "
+        f"({total_pairs} pairs total), multiprocess workers={_WORKERS}, "
+        f"{os.cpu_count()} host core(s)",
+        f"{'mode':28s} {'seconds':>9s} {'req/s':>8s}",
+        f"{'per-call construction':28s} {cold_s:9.3f} "
+        f"{_REQUESTS / cold_s:8.1f}",
+        f"{'warm service (coalesced)':28s} {warm_s:9.3f} "
+        f"{_REQUESTS / warm_s:8.1f}",
+        f"speedup: {speedup:.1f}x",
+        "",
+        "service metrics:",
+        snap.render(),
+    ]
+    save_report("service_throughput", "\n".join(lines))
+
+    # The acceptance bar: pooled warm serving >= 2x per-call spin-up.
+    assert speedup >= 2.0, f"warm service only {speedup:.2f}x faster"

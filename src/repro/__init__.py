@@ -33,9 +33,17 @@ __all__ = [
     "cross_compare",
     "cross_compare_files",
     "CrossCompareResult",
+    "ComparisonService",
+    "ServiceConfig",
 ]
 
-_API_NAMES = {"cross_compare", "cross_compare_files", "CrossCompareResult"}
+_API_NAMES = {
+    "cross_compare",
+    "cross_compare_files",
+    "CrossCompareResult",
+    "ComparisonService",
+    "ServiceConfig",
+}
 
 
 def __getattr__(name: str):

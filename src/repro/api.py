@@ -3,7 +3,11 @@
 This is the library's front door.  :func:`cross_compare` works on
 in-memory polygon lists (one tile); :func:`cross_compare_files` drives the
 full pipeline — parse, index, filter, aggregate — over two on-disk result
-sets, the way the paper's system consumes a whole image.
+sets, the way the paper's system consumes a whole image.  For *serving*
+many concurrent comparison requests from one warm executor, the async
+:class:`ComparisonService` (re-exported from :mod:`repro.service`) is
+the entry point — it owns the backend pool, admission control, and
+request coalescing behind ``await service.submit(pairs)``.
 """
 
 from __future__ import annotations
@@ -14,8 +18,15 @@ from pathlib import Path
 from repro.geometry.polygon import RectilinearPolygon
 from repro.metrics.jaccard import PairwiseJaccard, jaccard_pairwise
 from repro.pixelbox.common import LaunchConfig
+from repro.service.core import ComparisonService, ServiceConfig
 
-__all__ = ["CrossCompareResult", "cross_compare", "cross_compare_files"]
+__all__ = [
+    "CrossCompareResult",
+    "cross_compare",
+    "cross_compare_files",
+    "ComparisonService",
+    "ServiceConfig",
+]
 
 
 @dataclass(frozen=True, slots=True)

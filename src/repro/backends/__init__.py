@@ -38,6 +38,7 @@ from __future__ import annotations
 
 from repro.backends.base import (
     Backend,
+    BackendLifecycle,
     available_backends,
     backend_registry,
     get_backend,
@@ -56,6 +57,7 @@ from repro.backends.multiprocess import MultiprocessBackend, default_workers
 
 __all__ = [
     "Backend",
+    "BackendLifecycle",
     "register",
     "get_backend",
     "available_backends",

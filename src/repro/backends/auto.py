@@ -8,7 +8,7 @@ identical — so the worst misprediction costs wall-clock, never results.
 
 from __future__ import annotations
 
-from repro.backends.base import Pairs, get_backend, register
+from repro.backends.base import BackendLifecycle, Pairs, get_backend, register
 from repro.gpu.cost import recommend_backend
 from repro.pixelbox.common import LaunchConfig
 from repro.pixelbox.engine import BatchAreas
@@ -34,16 +34,25 @@ def profile_pairs(pairs: Pairs) -> tuple[float, float]:
 
 
 @register("auto")
-class AutoBackend:
-    """Cost-model dispatch between batch, vectorized, and multiprocess."""
+class AutoBackend(BackendLifecycle):
+    """Cost-model dispatch between batch, vectorized, and multiprocess.
+
+    Delegate executors are instantiated once and cached, so a long-lived
+    ``auto`` backend (the comparison service's warm pool) reuses them
+    across calls; with ``persistent=True`` the multiprocess delegate
+    keeps its worker pool warm too.  :meth:`close` releases every cached
+    delegate.
+    """
 
     name = "auto"
     description = "cost-model dispatch (pair count + edge density -> backend)"
 
-    def __init__(self, workers: int | None = None):
+    def __init__(self, workers: int | None = None, persistent: bool = False):
         from repro.backends.multiprocess import default_workers
 
         self.workers = workers if workers is not None else default_workers()
+        self.persistent = persistent
+        self._delegates: dict[str, object] = {}
         #: Name chosen by the most recent :meth:`compare_pairs` call.
         self.last_choice: str | None = None
 
@@ -60,10 +69,24 @@ class AutoBackend:
             workers=self.workers,
         )
 
+    def _delegate(self, choice: str):
+        if choice not in self._delegates:
+            kwargs = {}
+            if choice == "multiprocess":
+                kwargs = {
+                    "workers": self.workers, "persistent": self.persistent
+                }
+            self._delegates[choice] = get_backend(choice, **kwargs)
+        return self._delegates[choice]
+
     def compare_pairs(
         self, pairs: Pairs, config: LaunchConfig | None = None
     ) -> BatchAreas:
         choice = self.select(pairs, config)
         self.last_choice = choice
-        kwargs = {"workers": self.workers} if choice == "multiprocess" else {}
-        return get_backend(choice, **kwargs).compare_pairs(pairs, config)
+        return self._delegate(choice).compare_pairs(pairs, config)
+
+    def close(self) -> None:
+        delegates, self._delegates = self._delegates, {}
+        for backend in delegates.values():
+            backend.close()

@@ -29,6 +29,7 @@ from repro.pixelbox.engine import BatchAreas
 __all__ = [
     "Backend",
     "BackendFactory",
+    "BackendLifecycle",
     "register",
     "get_backend",
     "available_backends",
@@ -73,6 +74,32 @@ class Backend(Protocol):
     ) -> BatchAreas:
         """Exact areas (+ stats) for every pair, in input order."""
         ...
+
+    def close(self) -> None:
+        """Release pooled resources (idempotent; backend stays usable)."""
+        ...
+
+
+class BackendLifecycle:
+    """Default backend lifecycle: ``close()`` no-op + context manager.
+
+    Stateless executors inherit the no-op; pooled executors (persistent
+    worker processes, a future CUDA context, a remote transport) override
+    :meth:`close` to release what they hold.  ``close`` must be
+    idempotent and must leave the backend re-usable — pooled state is
+    re-created lazily on the next call — so long-lived owners like the
+    comparison service can recycle a backend without re-resolving it
+    through the registry.
+    """
+
+    def close(self) -> None:
+        """Release pooled resources; no-op for stateless executors."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 BackendFactory = Callable[..., Backend]

@@ -8,7 +8,7 @@ the pipeline's aggregator launches on the simulated GPU.
 
 from __future__ import annotations
 
-from repro.backends.base import Pairs, register
+from repro.backends.base import BackendLifecycle, Pairs, register
 from repro.pixelbox.batch import compute_batch
 from repro.pixelbox.common import LaunchConfig
 from repro.pixelbox.engine import BatchAreas
@@ -17,7 +17,7 @@ __all__ = ["BatchBackend"]
 
 
 @register("batch")
-class BatchBackend:
+class BatchBackend(BackendLifecycle):
     """Production batched kernel (small pairs skip subdivision)."""
 
     name = "batch"

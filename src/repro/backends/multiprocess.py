@@ -17,6 +17,18 @@ backend for any worker count — the parity harness checks this.
 Small inputs (fewer than ``min_pairs`` candidates) skip the pool and run
 in-process: forking workers for a handful of pairs would cost more than
 the comparison itself.
+
+Two pool lifetimes are supported.  The default tears the pool down after
+every call — no resource outlives ``compare_pairs``, which is right for
+one-shot batch jobs.  ``persistent=True`` keeps one warm worker pool
+across calls (created lazily, pre-spawnable with :meth:`warm`), which is
+what a long-lived owner like :class:`repro.service.ComparisonService`
+wants: process forking happens once per service lifetime instead of once
+per request, and only the (cheap, input-dependent) shared-memory packing
+remains per dispatch.  ``close()`` — also reachable as a context
+manager via :class:`repro.backends.base.BackendLifecycle` — shuts the
+warm pool down and joins its workers; the backend stays usable and
+re-creates the pool on the next pooled call.
 """
 
 from __future__ import annotations
@@ -30,7 +42,7 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.backends.base import Pairs, register
+from repro.backends.base import BackendLifecycle, Pairs, register
 from repro.errors import KernelError
 from repro.pixelbox.common import KernelStats, LaunchConfig, Method
 from repro.pixelbox.engine import BatchAreas, _start_box
@@ -215,8 +227,21 @@ def _worker(
 # ----------------------------------------------------------------------
 # Backend
 # ----------------------------------------------------------------------
+def _warm_probe(hold_seconds: float) -> int:
+    """Pool task used to pre-spawn workers (returns the worker pid).
+
+    Holding the worker briefly keeps an already-finished worker from
+    stealing the next probe, so one probe lands on each worker and the
+    whole pool is forced into existence.
+    """
+    import time
+
+    time.sleep(hold_seconds)
+    return os.getpid()
+
+
 @register("multiprocess")
-class MultiprocessBackend:
+class MultiprocessBackend(BackendLifecycle):
     """Shared-memory pair sharding across worker processes.
 
     Parameters
@@ -226,17 +251,80 @@ class MultiprocessBackend:
     min_pairs:
         Below this many pairs the pool is skipped and the shard runs
         in-process (identical results, no fork overhead).
+    persistent:
+        Keep one warm worker pool across ``compare_pairs`` calls instead
+        of forking per call.  The owner is responsible for ``close()``
+        (or using the backend as a context manager).
     """
 
     name = "multiprocess"
     description = "pair shards across processes over shared-memory CSR tables"
 
-    def __init__(self, workers: int | None = None, min_pairs: int = 256):
+    def __init__(
+        self,
+        workers: int | None = None,
+        min_pairs: int = 256,
+        persistent: bool = False,
+    ):
         resolved = default_workers() if workers is None else workers
         if resolved < 1:
             raise KernelError(f"workers must be >= 1, got {resolved}")
         self.workers = resolved
         self.min_pairs = min_pairs
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_unregister = False
+        self._pool_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Warm-pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> tuple[ProcessPoolExecutor, bool]:
+        """The warm pool (created lazily) and its attach-unregister flag."""
+        with self._pool_lock:
+            if self._pool is None:
+                ctx = _mp_context()
+                self._pool_unregister = ctx.get_start_method() != "fork"
+                if not self._pool_unregister:
+                    # Fork workers must inherit a *running* resource
+                    # tracker: a warm pool forks before any segment
+                    # exists, and a worker that lazily starts its own
+                    # tracker would double-account every attachment.
+                    try:  # pragma: no cover - interpreter internals
+                        from multiprocessing import resource_tracker
+
+                        resource_tracker.ensure_running()
+                    except Exception:
+                        pass
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=ctx
+                )
+            return self._pool, self._pool_unregister
+
+    def warm(self, hold_seconds: float = 0.05) -> list[int]:
+        """Pre-spawn every worker in the persistent pool; returns pids.
+
+        Only meaningful with ``persistent=True`` (a per-call pool would
+        be torn down again immediately); the service calls this at
+        startup so the first request does not pay the fork/spawn cost.
+        """
+        if not self.persistent:
+            return []
+        pool, _ = self._ensure_pool()
+        # One probe per worker: the executor spawns a process per pending
+        # submission until max_workers exist, so this forces a full pool.
+        futures = [
+            pool.submit(_warm_probe, hold_seconds)
+            for _ in range(self.workers)
+        ]
+        return sorted({f.result() for f in futures})
+
+    def close(self) -> None:
+        """Shut the warm pool down and join its workers (idempotent)."""
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def compare_pairs(
         self, pairs: Pairs, config: LaunchConfig | None = None
@@ -301,22 +389,21 @@ class MultiprocessBackend:
         try:
             step = -(-n // self.workers)
             shards = [(lo, min(lo + step, n)) for lo in range(0, n, step)]
-            ctx = _mp_context()
-            unregister = ctx.get_start_method() != "fork"
-            with ProcessPoolExecutor(
-                max_workers=len(shards), mp_context=ctx
-            ) as pool:
-                futures = [
-                    pool.submit(
-                        _worker, shm.name, manifest, lo, hi, cfg, unregister
+            if self.persistent:
+                pool, unregister = self._ensure_pool()
+                self._collect(
+                    pool, shm, manifest, shards, cfg, unregister, inter, stats
+                )
+            else:
+                ctx = _mp_context()
+                unregister = ctx.get_start_method() != "fork"
+                with ProcessPoolExecutor(
+                    max_workers=len(shards), mp_context=ctx
+                ) as pool:
+                    self._collect(
+                        pool, shm, manifest, shards, cfg, unregister, inter,
+                        stats,
                     )
-                    for lo, hi in shards
-                ]
-                for future in futures:
-                    lo, shard_inter, shard_stats = future.result()
-                    inter[lo : lo + len(shard_inter)] = shard_inter
-                    part = KernelStats(**shard_stats)
-                    stats.merge(part)
         finally:
             shm.close()
             try:
@@ -324,3 +411,25 @@ class MultiprocessBackend:
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
         return inter
+
+    @staticmethod
+    def _collect(
+        pool: ProcessPoolExecutor,
+        shm: shared_memory.SharedMemory,
+        manifest: dict[str, tuple[int, tuple, str]],
+        shards: list[tuple[int, int]],
+        cfg: LaunchConfig,
+        unregister: bool,
+        inter: np.ndarray,
+        stats: KernelStats,
+    ) -> None:
+        """Submit every shard to ``pool`` and gather slices into ``inter``."""
+        futures = [
+            pool.submit(_worker, shm.name, manifest, lo, hi, cfg, unregister)
+            for lo, hi in shards
+        ]
+        for future in futures:
+            lo, shard_inter, shard_stats = future.result()
+            inter[lo : lo + len(shard_inter)] = shard_inter
+            part = KernelStats(**shard_stats)
+            stats.merge(part)

@@ -11,7 +11,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.backends.base import Pairs, cover_mbr_config, register
+from repro.backends.base import (
+    BackendLifecycle,
+    Pairs,
+    cover_mbr_config,
+    register,
+)
 from repro.pixelbox.common import KernelStats, LaunchConfig
 from repro.pixelbox.cpu import pair_areas_scalar
 from repro.pixelbox.engine import BatchAreas
@@ -20,7 +25,7 @@ __all__ = ["ScalarBackend"]
 
 
 @register("scalar")
-class ScalarBackend:
+class ScalarBackend(BackendLifecycle):
     """Per-pair scalar Python execution (PixelBox-CPU-S)."""
 
     name = "scalar"

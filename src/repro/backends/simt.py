@@ -12,7 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.backends.base import Pairs, cover_mbr_config, register
+from repro.backends.base import (
+    BackendLifecycle,
+    Pairs,
+    cover_mbr_config,
+    register,
+)
 from repro.gpu.simt_kernel import collect_block_counts
 from repro.pixelbox.common import KernelStats, LaunchConfig
 from repro.pixelbox.engine import BatchAreas
@@ -21,7 +26,7 @@ __all__ = ["SimtBackend"]
 
 
 @register("simt")
-class SimtBackend:
+class SimtBackend(BackendLifecycle):
     """SIMT-simulator replay (one thread block per pair)."""
 
     name = "simt"

@@ -7,7 +7,7 @@ the GPU's execution shape (see :mod:`repro.pixelbox.vectorized`).
 
 from __future__ import annotations
 
-from repro.backends.base import Pairs, register
+from repro.backends.base import BackendLifecycle, Pairs, register
 from repro.pixelbox.common import LaunchConfig, Method
 from repro.pixelbox.engine import BatchAreas, compute_pairs
 
@@ -15,7 +15,7 @@ __all__ = ["VectorizedBackend"]
 
 
 @register("vectorized")
-class VectorizedBackend:
+class VectorizedBackend(BackendLifecycle):
     """Level-synchronous NumPy execution of the PIXELBOX variant."""
 
     name = "vectorized"

@@ -8,6 +8,7 @@ Subcommands::
     repro run-all [--full]
     repro generate-suite [--scale 0.02] [--root DIR]
     repro compare DIR_A DIR_B [--no-migration] [--backend NAME]
+    repro serve [--backend NAME] [--port N | --stdio] [--max-queue N]
 """
 
 from __future__ import annotations
@@ -64,6 +65,45 @@ def build_parser() -> argparse.ArgumentParser:
             "execution backend for the aggregator (see `repro backends`; "
             "'auto' picks by cost model)"
         ),
+    )
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the async comparison service (JSON lines over TCP/stdio)",
+    )
+    srv.add_argument(
+        "--backend",
+        default="batch",
+        help="warm execution backend the service pools (see `repro backends`)",
+    )
+    srv.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for pooled backends (multiprocess/auto)",
+    )
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port (0 binds an ephemeral port, announced on stdout)",
+    )
+    srv.add_argument(
+        "--stdio", action="store_true",
+        help="serve one JSON-lines session on stdin/stdout instead of TCP",
+    )
+    srv.add_argument(
+        "--max-queue", type=int, default=256,
+        help="admission control: pending requests beyond this are rejected",
+    )
+    srv.add_argument(
+        "--max-batch-pairs", type=int, default=None,
+        help="cap pairs per coalesced dispatch (default: cost model decides)",
+    )
+    srv.add_argument(
+        "--coalesce-window", type=float, default=0.002,
+        help="seconds to wait for more requests to merge into a dispatch",
+    )
+    srv.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-request timeout in seconds",
     )
     return parser
 
@@ -137,6 +177,30 @@ def main(argv: list[str] | None = None) -> int:
             f"missing polygons: {outcome.missing_a} of {outcome.count_a} "
             f"in A, {outcome.missing_b} of {outcome.count_b} in B"
         )
+        return 0
+
+    if args.command == "serve":
+        import asyncio
+
+        from repro.service import ServiceConfig, serve
+
+        options = {}
+        if args.workers is not None:
+            options["workers"] = args.workers
+        config = ServiceConfig(
+            backend=args.backend,
+            backend_options=options,
+            max_queue=args.max_queue,
+            max_batch_pairs=args.max_batch_pairs,
+            coalesce_window=args.coalesce_window,
+            default_timeout=args.timeout,
+        )
+        try:
+            asyncio.run(
+                serve(config, host=args.host, port=args.port, stdio=args.stdio)
+            )
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            pass
         return 0
 
     return 2  # pragma: no cover - argparse enforces the subcommands

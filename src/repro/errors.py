@@ -68,6 +68,18 @@ class MigrationError(PipelineError):
     """Dynamic task migration configuration error."""
 
 
+class ServiceError(ReproError):
+    """Comparison-service misuse or runtime failure."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Admission control rejected a request (queue at capacity)."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request was submitted to a service that is shutting down."""
+
+
 class DatasetError(ReproError):
     """Synthetic dataset specification or generation failure."""
 

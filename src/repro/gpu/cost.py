@@ -26,6 +26,7 @@ __all__ = [
     "CycleBreakdown",
     "estimate_comparison_cycles",
     "recommend_backend",
+    "recommend_batch_pairs",
 ]
 
 # ALU cycles per edge test in the pixel/box position loops (compare +
@@ -253,3 +254,41 @@ def recommend_backend(
     if mean_mbr_pixels > 4 * pixel_threshold:
         return "vectorized"
     return "batch"
+
+
+# Modeled cycle budget of one coalesced service dispatch.  The budget
+# bounds the latency a small request can inherit from riding in a large
+# merged batch: a dispatch stops absorbing requests once its modeled
+# compute reaches this many cycles.  Sized to a few times the spin-up
+# charge so pooled workers stay well amortized per dispatch.
+_DISPATCH_CYCLE_BUDGET = 4.0 * _PROCESS_SPINUP_CYCLES
+# Coalesced-dispatch bounds: never merge below the floor (per-dispatch
+# bookkeeping would dominate), never above the cap (peak-memory bound of
+# the level-synchronous engines' working set).
+_MIN_DISPATCH_PAIRS = 64
+_MAX_DISPATCH_PAIRS = 65536
+
+
+def recommend_batch_pairs(
+    mean_edges: float,
+    mean_mbr_pixels: float,
+    pixel_threshold: int,
+    block_size: int = 64,
+    cycle_budget: float = _DISPATCH_CYCLE_BUDGET,
+) -> int:
+    """Pair budget for one coalesced dispatch of the comparison service.
+
+    The service's micro-batching coalescer merges small concurrent
+    requests into one backend launch; this policy sizes that launch from
+    the same cycle model :func:`recommend_backend` prices executors
+    with.  Dense workloads (many edges, large MBRs) get small merged
+    batches — each pair is expensive, so latency-bounding the dispatch
+    matters; sparse workloads coalesce aggressively.
+    """
+    per_pair = estimate_comparison_cycles(
+        1, mean_edges, mean_mbr_pixels, pixel_threshold, block_size
+    )
+    if per_pair <= 0:
+        return _MAX_DISPATCH_PAIRS
+    budget = int(cycle_budget / per_pair)
+    return max(_MIN_DISPATCH_PAIRS, min(_MAX_DISPATCH_PAIRS, budget))

@@ -1,4 +1,6 @@
-"""Similarity metrics for cross-comparing segmentation results."""
+"""Similarity metrics for cross-comparing segmentation results, plus
+service-level metrics (queue depth, batch occupancy, latency quantiles)
+for the async comparison service."""
 
 from repro.metrics.jaccard import (
     PairwiseJaccard,
@@ -6,10 +8,13 @@ from repro.metrics.jaccard import (
     jaccard_global,
     jaccard_pairwise,
 )
+from repro.metrics.service import ServiceMetrics, ServiceSnapshot
 
 __all__ = [
     "PairwiseJaccard",
     "jaccard_pairwise",
     "jaccard_from_areas",
     "jaccard_global",
+    "ServiceMetrics",
+    "ServiceSnapshot",
 ]

@@ -4,9 +4,10 @@ Two background migration threads sleep until the aggregator's input
 buffer hits a watermark:
 
 * **GPU congested** (buffer full): the aggregator migrator steals the
-  *smallest* batches from the aggregator's input and executes them with
-  PixelBox-CPU on worker threads, feeding results directly to the
-  collector.
+  *smallest* batches from the aggregator's input and executes them on a
+  CPU-side execution backend resolved through the registry
+  (:mod:`repro.backends` — vectorized by default, the multiprocess
+  shards on big CPU hosts), feeding results directly to the collector.
 * **GPU idle** (buffer empty): the parser migrator steals parse tasks
   from the parser's input and runs them through the GPU-Parser kernel,
   feeding parsed tiles back into the builder's input.
@@ -20,15 +21,16 @@ from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Mapping
 
+from repro.backends import available_backends, get_backend
 from repro.errors import MigrationError
 from repro.pipeline.buffers import BoundedBuffer
 from repro.pipeline.device import GpuDevice
 from repro.pipeline.stages import StageTimers, split_batch_results
 from repro.pipeline.tasks import FilteredBatch, ParsedTile, ParseTask, TileResult
 from repro.pixelbox.common import LaunchConfig
-from repro.pixelbox.cpu import PixelBoxCpu
 
 __all__ = ["MigrationConfig", "aggregator_migrator", "parser_migrator"]
 
@@ -37,10 +39,23 @@ _POLL_SECONDS = 0.002
 
 @dataclass(frozen=True, slots=True)
 class MigrationConfig:
-    """Tuning knobs of the migration component."""
+    """Tuning knobs of the migration component.
+
+    ``backend`` names the registry executor migrated aggregator batches
+    run on (every backend is bit-for-bit identical, so this is purely a
+    throughput knob).  The default ``"vectorized"`` engine runs the
+    whole stolen batch level-synchronously in the migrator thread and
+    takes no worker count; ``"multiprocess"`` lets a big CPU host absorb
+    congestion with the sharded pool, and there ``cpu_workers`` is its
+    process count (unless ``backend_options`` overrides it) — the pool
+    is persistent for the migrator's lifetime, so it forks once per
+    pipeline run, not once per stolen batch.
+    """
 
     cpu_workers: int = 2
     poll_seconds: float = _POLL_SECONDS
+    backend: str = "vectorized"
+    backend_options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.cpu_workers < 1:
@@ -49,6 +64,21 @@ class MigrationConfig:
             )
         if self.poll_seconds <= 0:
             raise MigrationError("poll interval must be positive")
+        if self.backend not in available_backends():
+            # Fail at configuration time: a typo here must not abort a
+            # long pipeline run from inside a migrator thread.
+            raise MigrationError(
+                f"unknown migration backend {self.backend!r} "
+                f"(registered: {', '.join(available_backends())})"
+            )
+
+    def resolve_backend(self):
+        """Instantiate the migration executor through the registry."""
+        options = dict(self.backend_options)
+        if self.backend == "multiprocess":
+            options.setdefault("workers", self.cpu_workers)
+            options.setdefault("persistent", True)
+        return get_backend(self.backend, **options)
 
 
 def aggregator_migrator(
@@ -59,23 +89,31 @@ def aggregator_migrator(
     timers: StageTimers,
     stop: threading.Event,
 ) -> None:
-    """GPU-to-CPU migration: absorb small batches when the GPU clogs."""
-    cpu = PixelBoxCpu(mode="vector", workers=migration.cpu_workers, config=config)
-    while not stop.is_set():
-        if batches_in.closed and batches_in.is_empty():
-            return
-        if not batches_in.is_full():
-            time.sleep(migration.poll_seconds)
-            continue
-        batch = batches_in.steal_smallest(key=lambda b: b.size)
-        if batch is None:
-            continue
-        t0 = time.perf_counter()
-        areas = cpu.compute_many(batch.pairs)
-        for result in split_batch_results([batch], areas, executed_on="cpu"):
-            results_out.put(result)
-        timers.add("aggregator", time.perf_counter() - t0)
-        timers.migrated_cpu_tasks += 1
+    """GPU-to-CPU migration: absorb small batches when the GPU clogs.
+
+    The executor is resolved once per migrator thread through the
+    backend registry and closed on exit, so a pooled backend (e.g.
+    persistent multiprocess workers) spins up at most once per pipeline
+    run, not once per stolen batch.
+    """
+    with migration.resolve_backend() as backend:
+        while not stop.is_set():
+            if batches_in.closed and batches_in.is_empty():
+                return
+            if not batches_in.is_full():
+                time.sleep(migration.poll_seconds)
+                continue
+            batch = batches_in.steal_smallest(key=lambda b: b.size)
+            if batch is None:
+                continue
+            t0 = time.perf_counter()
+            areas = backend.compare_pairs(batch.pairs, config)
+            for result in split_batch_results(
+                [batch], areas, executed_on="cpu"
+            ):
+                results_out.put(result)
+            timers.add("aggregator", time.perf_counter() - t0)
+            timers.migrated_cpu_tasks += 1
 
 
 def parser_migrator(

@@ -1,0 +1,452 @@
+"""The asyncio comparison service: warm backend pool + micro-batching.
+
+Why a service layer exists at all: every ``compare_pairs`` call through
+the registry constructs its executor from scratch — for the
+multiprocess backend that means forking a worker pool and packing
+shared-memory CSR tables *per call*.  Fine for batch jobs, fatal for an
+interactive system answering many small concurrent requests.
+:class:`ComparisonService` inverts the lifecycle:
+
+* **warm backend pool** — the executor is resolved once at
+  :meth:`~ComparisonService.start` and reused for every request; the
+  multiprocess backend is automatically put in its persistent-worker
+  mode (and pre-spawned), so process forking happens once per service
+  lifetime;
+* **admission control** — a bounded request queue; a full queue rejects
+  immediately with :class:`~repro.errors.ServiceOverloadedError` instead
+  of letting latency grow without bound, and every request can carry a
+  timeout (the default comes from :class:`ServiceConfig`);
+* **micro-batching coalescer** — the dispatcher merges small concurrent
+  requests into one backend launch sized by the cycle cost model
+  (:func:`repro.gpu.cost.recommend_batch_pairs`), then scatters the
+  result slices back to the awaiting futures.  Merging changes *when*
+  pairs are computed, never *what*: every pair's result is computed
+  independently, so a coalesced dispatch is bit-for-bit identical to
+  per-request calls (the service tests assert this).
+
+The service is asyncio-native.  Backend launches are CPU-bound, so the
+dispatcher runs them on a single worker thread via
+``loop.run_in_executor`` — one launch at a time, mirroring the exclusive
+device contract of :class:`repro.pipeline.device.GpuDevice` — which
+keeps the event loop free to accept, reject, and time out requests while
+a batch is in flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.backends import get_backend
+from repro.backends.auto import profile_pairs
+from repro.backends.base import Backend, Pairs
+from repro.errors import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.gpu.cost import recommend_batch_pairs
+from repro.metrics.service import ServiceMetrics, ServiceSnapshot
+from repro.pixelbox.common import KernelStats, LaunchConfig
+from repro.pixelbox.engine import BatchAreas
+
+__all__ = ["ServiceConfig", "ComparisonService"]
+
+# Queue sentinel: close() enqueues it behind every accepted request, so
+# the dispatcher drains the backlog before exiting (graceful shutdown).
+_STOP = object()
+
+# Pairs sampled when profiling a request for the cost-model batch
+# budget.  Profiling runs on the event loop, so it must stay O(1) in
+# request size; the workload means it feeds converge long before this.
+_PROFILE_SAMPLE = 256
+
+_UNSET = object()
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Tuning knobs of the comparison service.
+
+    Attributes
+    ----------
+    backend:
+        Registry name of the warm executor (``repro backends``).
+    backend_options:
+        Factory keyword arguments (e.g. ``{"workers": 4}``).  For the
+        multiprocess and auto backends, ``persistent=True`` is implied
+        unless explicitly overridden.
+    max_queue:
+        Admission-control bound: requests beyond this many waiting are
+        rejected with :class:`~repro.errors.ServiceOverloadedError`.
+    max_batch_pairs:
+        Hard cap on pairs per coalesced dispatch; ``None`` asks the
+        cycle cost model per batch (:func:`recommend_batch_pairs`).
+    coalesce_window:
+        Seconds the dispatcher waits for more requests to merge once one
+        is in hand and the queue runs dry.  Zero disables waiting
+        (requests still coalesce when they are genuinely concurrent).
+    default_timeout:
+        Per-request timeout in seconds applied when ``submit`` is not
+        given one; ``None`` means wait indefinitely.
+    """
+
+    backend: str = "batch"
+    backend_options: Mapping[str, Any] = field(default_factory=dict)
+    max_queue: int = 256
+    max_batch_pairs: int | None = None
+    coalesce_window: float = 0.002
+    default_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ServiceError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.max_batch_pairs is not None and self.max_batch_pairs < 1:
+            raise ServiceError(
+                f"max_batch_pairs must be >= 1, got {self.max_batch_pairs}"
+            )
+        if self.coalesce_window < 0:
+            raise ServiceError("coalesce_window cannot be negative")
+        if self.default_timeout is not None and self.default_timeout <= 0:
+            raise ServiceError("default_timeout must be positive")
+
+
+@dataclass(slots=True)
+class _Request:
+    """One queued ``compare_pairs`` request."""
+
+    pairs: Pairs
+    config: LaunchConfig | None
+    future: asyncio.Future
+    enqueued: float
+
+    @property
+    def size(self) -> int:
+        return len(self.pairs)
+
+
+def _slice_result(areas: BatchAreas, lo: int, hi: int) -> BatchAreas:
+    """One request's slice of a merged dispatch.
+
+    Kernel work counters cannot be attributed to a single rider of a
+    merged batch, so each slice carries only its own pair count; the
+    dispatch-level totals go to the service metrics instead.
+    """
+    return BatchAreas(
+        np.ascontiguousarray(areas.intersection[lo:hi]),
+        np.ascontiguousarray(areas.union[lo:hi]),
+        np.ascontiguousarray(areas.area_p[lo:hi]),
+        np.ascontiguousarray(areas.area_q[lo:hi]),
+        KernelStats(pairs=hi - lo),
+    )
+
+
+class ComparisonService:
+    """Async front-end serving ``compare_pairs`` from one warm backend.
+
+    Usage::
+
+        async with ComparisonService(ServiceConfig(backend="multiprocess")) as svc:
+            areas = await svc.submit(pairs)
+
+    ``submit`` calls may come from many tasks concurrently; the service
+    coalesces them.  A custom ``backend`` instance can be injected for
+    testing (it must satisfy the :class:`repro.backends.Backend`
+    protocol); the service still owns its lifecycle and closes it.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        metrics: ServiceMetrics | None = None,
+        backend: Backend | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = metrics or ServiceMetrics()
+        self._injected_backend = backend
+        self._backend: Backend | None = None
+        self._queue: asyncio.Queue | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ComparisonService":
+        """Resolve and warm the backend, start the dispatcher."""
+        if self._dispatcher is not None:
+            return self
+        if self._closed:
+            raise ServiceClosedError("service already closed")
+        loop = asyncio.get_running_loop()
+        if self._injected_backend is not None:
+            self._backend = self._injected_backend
+        else:
+            options = dict(self.config.backend_options)
+            if self.config.backend in ("multiprocess", "auto"):
+                # The warm pool is the point: pooled executors keep
+                # their workers across dispatches for the service's
+                # lifetime (auto threads the flag to its delegates).
+                options.setdefault("persistent", True)
+            try:
+                self._backend = get_backend(self.config.backend, **options)
+            except TypeError as exc:
+                # e.g. `repro serve --backend batch --workers 4`: the
+                # batch factory takes no options.  Fail with the real
+                # story, not a bare constructor TypeError.
+                raise ServiceError(
+                    f"backend {self.config.backend!r} rejected options "
+                    f"{sorted(options)}: {exc}"
+                ) from None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-service"
+        )
+        warm = getattr(self._backend, "warm", None)
+        if callable(warm):
+            # Pre-spawn pooled workers off-loop: the first request must
+            # not pay the fork/spawn cost the warm pool exists to avoid.
+            await loop.run_in_executor(self._executor, warm)
+        self._queue = asyncio.Queue(maxsize=self.config.max_queue)
+        self._dispatcher = loop.create_task(self._dispatch_loop())
+        return self
+
+    async def __aenter__(self) -> "ComparisonService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop accepting requests, then shut down.
+
+        ``drain=True`` (the default) answers every already-accepted
+        request before the backend is released; ``drain=False`` cancels
+        pending requests immediately (their submitters see
+        ``CancelledError``).
+        """
+        if self._closed and self._dispatcher is None:
+            return
+        self._closed = True
+        if self._dispatcher is not None:
+            if drain:
+                # The sentinel lands behind every accepted request; the
+                # dispatcher exits only after answering all of them.
+                await self._queue.put(_STOP)
+                await self._dispatcher
+            else:
+                self._dispatcher.cancel()
+                try:
+                    await self._dispatcher
+                except asyncio.CancelledError:
+                    pass
+                while not self._queue.empty():
+                    stale = self._queue.get_nowait()
+                    if stale is not _STOP and not stale.future.done():
+                        stale.future.cancel()
+            self._dispatcher = None
+        if self._backend is not None:
+            close = getattr(self._backend, "close", None)
+            if callable(close):
+                close()
+            self._backend = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        pairs: Pairs,
+        config: LaunchConfig | None = None,
+        timeout: float | None | object = _UNSET,
+    ) -> BatchAreas:
+        """Enqueue one comparison request and await its result.
+
+        Raises
+        ------
+        ServiceClosedError
+            The service is not running (never started, or closing).
+        ServiceOverloadedError
+            Admission control rejected the request (queue full).
+        asyncio.TimeoutError
+            The per-request timeout elapsed (queued or mid-batch); the
+            request is abandoned and its slot reclaimed.
+        """
+        if self._closed or self._queue is None:
+            raise ServiceClosedError("service is not accepting requests")
+        if timeout is _UNSET:
+            timeout = self.config.default_timeout
+        loop = asyncio.get_running_loop()
+        request = _Request(
+            pairs=list(pairs),
+            config=config,
+            future=loop.create_future(),
+            enqueued=time.perf_counter(),
+        )
+        try:
+            self._queue.put_nowait(request)
+        except asyncio.QueueFull:
+            self.metrics.note_rejected()
+            raise ServiceOverloadedError(
+                f"request queue at capacity ({self.config.max_queue})"
+            ) from None
+        self.metrics.note_enqueued(self._queue.qsize())
+        try:
+            if timeout is None:
+                return await request.future
+            return await asyncio.wait_for(request.future, timeout)
+        except asyncio.TimeoutError:
+            self.metrics.note_timeout()
+            raise
+        except asyncio.CancelledError:
+            self.metrics.note_cancelled()
+            if not request.future.done():
+                request.future.cancel()
+            raise
+
+    def snapshot(self) -> ServiceSnapshot:
+        """Current service metrics."""
+        return self.metrics.snapshot()
+
+    @property
+    def backend(self) -> Backend | None:
+        """The warm backend instance (``None`` before start/after close)."""
+        return self._backend
+
+    # ------------------------------------------------------------------
+    # Dispatcher
+    # ------------------------------------------------------------------
+    def _batch_budget(self, head: _Request) -> int:
+        """Pair budget for the dispatch opened by ``head``."""
+        if self.config.max_batch_pairs is not None:
+            return self.config.max_batch_pairs
+        cfg = head.config or LaunchConfig()
+        mean_edges, mean_pixels = profile_pairs(head.pairs[:_PROFILE_SAMPLE])
+        return recommend_batch_pairs(
+            mean_edges, mean_pixels, cfg.threshold, cfg.block_size
+        )
+
+    async def _coalesce(
+        self, head: _Request, batch: list[_Request]
+    ) -> tuple[list[_Request], _Request | None, bool]:
+        """Merge queued compatible requests behind ``head`` into ``batch``.
+
+        ``batch`` is the caller's ``held`` list (already containing
+        ``head``) so requests taken off the queue here stay visible to
+        the dispatcher's cancellation cleanup.  Returns ``(batch, carry,
+        stopping)``: the requests to dispatch together, an incompatible
+        request to open the next batch with, and whether the stop
+        sentinel was consumed.
+        """
+        total = head.size
+        budget = self._batch_budget(head)
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.coalesce_window
+        while total < budget:
+            try:
+                nxt = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(), remaining)
+                except asyncio.TimeoutError:
+                    break
+            if nxt is _STOP:
+                return batch, None, True
+            if nxt.future.done():  # cancelled or timed out while queued
+                continue
+            if nxt.config != head.config:
+                # Different launch parameters cannot share a dispatch;
+                # the mismatched request opens the next batch instead.
+                return batch, nxt, False
+            batch.append(nxt)
+            total += nxt.size
+        return batch, None, False
+
+    async def _dispatch_loop(self) -> None:
+        """Consume the queue forever: coalesce, launch, scatter.
+
+        ``held`` tracks the requests this coroutine has taken off the
+        queue but not yet answered; if the dispatcher itself is
+        cancelled (``close(drain=False)``) they are cancelled too, so no
+        submitter is left awaiting a future nobody will resolve.
+        """
+        loop = asyncio.get_running_loop()
+        carry: _Request | None = None
+        held: list[_Request] = []
+        stopping = False
+        try:
+            while True:
+                if carry is not None:
+                    head, carry = carry, None
+                elif stopping:
+                    return
+                else:
+                    head = await self._queue.get()
+                    if head is _STOP:
+                        return
+                if head.future.done():
+                    continue
+                held = [head]
+                try:
+                    batch, carry, saw_stop = await self._coalesce(head, held)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - poison request
+                    # A request whose pairs cannot even be profiled
+                    # (e.g. non-polygon objects) fails itself — the
+                    # dispatcher must survive to serve everyone else.
+                    self.metrics.note_failure()
+                    for r in held:
+                        if not r.future.done():
+                            r.future.set_exception(exc)
+                    held = []
+                    continue
+                stopping = stopping or saw_stop
+                live = [r for r in batch if not r.future.done()]
+                held = list(live)
+                self.metrics.note_queue_depth(self._queue.qsize())
+                if not live:
+                    held = []
+                    continue
+                merged = [pair for r in live for pair in r.pairs]
+                call = functools.partial(
+                    self._backend.compare_pairs, merged, live[0].config
+                )
+                try:
+                    areas = await loop.run_in_executor(self._executor, call)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - goes to callers
+                    self.metrics.note_failure()
+                    for r in live:
+                        if not r.future.done():
+                            r.future.set_exception(exc)
+                    held = []
+                    continue
+                self.metrics.note_batch(requests=len(live), pairs=len(merged))
+                offset = 0
+                now = time.perf_counter()
+                for r in live:
+                    lo, offset = offset, offset + r.size
+                    if r.future.done():  # cancelled while the batch ran
+                        continue
+                    r.future.set_result(_slice_result(areas, lo, offset))
+                    self.metrics.note_completed(now - r.enqueued)
+                held = []
+        except asyncio.CancelledError:
+            for r in held + ([carry] if carry is not None else []):
+                if not r.future.done():
+                    r.future.cancel()
+            raise

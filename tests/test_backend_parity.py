@@ -20,6 +20,9 @@ Workloads are seeded and randomized at three shapes:
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
@@ -151,3 +154,57 @@ def test_backends_agree_under_nondefault_config(workloads):
         result = get_backend(name).compare_pairs(pairs, cfg)
         assert np.array_equal(result.intersection, ref_inter), name
         assert np.array_equal(result.union, ref_union), name
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: every backend is a context manager with an idempotent close
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", sorted(backend_registry()))
+def test_backend_lifecycle_context_manager(name, workloads):
+    """Registry introspection covers the lifecycle contract too: use as
+    a context manager, correct results inside, close idempotent after."""
+    pairs, ref_inter, ref_union = workloads["small"]
+    with get_backend(name) as backend:
+        result = backend.compare_pairs(pairs)
+        assert np.array_equal(result.intersection, ref_inter)
+        assert np.array_equal(result.union, ref_union)
+    backend.close()  # second close must be a no-op
+
+
+def _shm_segments() -> set[str]:
+    """Named shared-memory segments visible on this host (Linux)."""
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux hosts
+        return set()
+
+
+def test_multiprocess_persistent_pool_lifecycle(workloads):
+    """Persistent mode: one warm pool serves repeated calls bit-for-bit,
+    and close() leaks neither processes nor shared-memory segments."""
+    pairs, ref_inter, ref_union = workloads["tile"]
+    segments_before = _shm_segments()
+    backend = get_backend(
+        "multiprocess", workers=2, min_pairs=1, persistent=True
+    )
+    try:
+        warm_pids = backend.warm()
+        assert warm_pids, "warm() spawned no workers"
+        pool_pids = {p.pid for p in multiprocessing.active_children()}
+        assert set(warm_pids) <= pool_pids
+        for _ in range(2):  # the pool is reused, not re-forked
+            result = backend.compare_pairs(pairs)
+            assert np.array_equal(result.intersection, ref_inter)
+            assert np.array_equal(result.union, ref_union)
+        # No new worker processes appeared across repeated calls.
+        assert {p.pid for p in multiprocessing.active_children()} == pool_pids
+    finally:
+        backend.close()
+    backend.close()  # idempotent
+    alive = {p.pid for p in multiprocessing.active_children()}
+    assert not (pool_pids & alive), "workers survived close()"
+    assert _shm_segments() <= segments_before, "leaked shared memory"
+    # The backend stays usable: the pool is re-created lazily.
+    result = backend.compare_pairs(pairs)
+    assert np.array_equal(result.intersection, ref_inter)
+    backend.close()

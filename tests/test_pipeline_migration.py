@@ -39,6 +39,72 @@ class TestMigrationConfig:
         with pytest.raises(MigrationError):
             MigrationConfig(poll_seconds=0.0)
 
+    def test_unknown_backend_rejected_at_construction(self):
+        # A typo must fail when the config is built, not mid-run inside
+        # a migrator thread.
+        with pytest.raises(MigrationError):
+            MigrationConfig(backend="not-a-backend")
+
+    def test_multiprocess_backend_inherits_cpu_workers(self):
+        backend = MigrationConfig(
+            cpu_workers=3, backend="multiprocess"
+        ).resolve_backend()
+        with backend:
+            assert backend.workers == 3
+
+
+class TestAggregatorMigratorBackendRouting:
+    """Migrated batches run on a registry executor, not a private engine."""
+
+    @pytest.mark.parametrize("backend", ["vectorized", "batch"])
+    def test_stolen_batch_executes_on_registry_backend(self, backend):
+        import numpy as np
+
+        from repro.data.synth import generate_tile_pair
+        from repro.index.join import mbr_pair_join
+        from repro.pipeline.tasks import FilteredBatch
+        from repro.pixelbox.api import compare_pairs
+
+        set_a, set_b = generate_tile_pair(
+            seed=21, nuclei=30, width=128, height=128
+        )
+        join = mbr_pair_join(set_a, set_b)
+        pairs = join.pairs(set_a, set_b)
+        batch = FilteredBatch(
+            tile_id=0,
+            pairs=pairs,
+            left_idx=join.left_idx,
+            right_idx=join.right_idx,
+            count_a=len(set_a),
+            count_b=len(set_b),
+        )
+        batches = BoundedBuffer(1, "batches")
+        results = BoundedBuffer(8, "results")
+        batches.put(batch)  # capacity 1 -> the buffer is now "full"
+        batches.close()
+        timers = StageTimers()
+
+        aggregator_migrator(
+            batches, results, LaunchConfig(),
+            MigrationConfig(cpu_workers=1, backend=backend),
+            timers, threading.Event(),
+        )
+
+        assert timers.migrated_cpu_tasks == 1
+        result = results.try_get()
+        assert result is not None
+        assert result.executed_on == "cpu"
+        # The migrated result matches a direct backend launch exactly.
+        areas = compare_pairs(pairs, backend=backend, config=LaunchConfig())
+        hit = areas.intersection > 0
+        assert result.intersecting_pairs == int(hit.sum())
+        assert result.candidate_pairs == len(pairs)
+        ratios = areas.ratios()
+        assert result.ratio_sum == pytest.approx(float(ratios[hit].sum()))
+        assert np.array_equal(
+            sorted(result.matched_a), np.unique(join.left_idx[hit])
+        )
+
 
 class TestMigrationDisabled:
     def test_no_migration_threads_no_migrated_tasks(self, small_dataset):
