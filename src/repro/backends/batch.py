@@ -1,9 +1,10 @@
 """Batch backend: the production batched device kernel.
 
-Identical results to the vectorized backend with a different execution
-policy: pairs whose MBR fits a thread block are pixelized directly,
-skipping subdivision (see :mod:`repro.pixelbox.batch`).  This is what
-the pipeline's aggregator launches on the simulated GPU.
+Identical results to the vectorized backend with a different
+:class:`repro.pixelbox.kernel.ExecutionPolicy`: pairs whose MBR fits a
+thread block are pixelized directly, skipping subdivision (see
+:mod:`repro.pixelbox.batch`).  This is what the pipeline's aggregator
+launches on the simulated GPU.
 """
 
 from __future__ import annotations

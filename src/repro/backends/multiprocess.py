@@ -10,9 +10,13 @@ contiguous shard of pair indices, and ships back only its slice of the
 intersection-area vector.  The parent scatter-gathers the slices and
 derives unions indirectly (``|p u q| = |p| + |q| - |p n q|``).
 
-Because every pair's result is an exact integer computed independently
-of its shard, the output is bit-for-bit identical to the vectorized
-backend for any worker count — the parity harness checks this.
+Each worker drives the shared chunk kernel
+(:meth:`repro.pixelbox.kernel.ChunkKernel.run_shard` under the shard
+policy) — the same plan+stacked-pixelize sequence every in-process
+executor runs — so every pair's result is an exact integer computed
+independently of its shard and the output is bit-for-bit identical to
+the vectorized backend for any worker count, with identical work
+counters; the parity harness checks this.
 
 Small inputs (fewer than ``min_pairs`` candidates) skip the pool and run
 in-process: forking workers for a handful of pairs would cost more than
@@ -44,22 +48,35 @@ import numpy as np
 
 from repro.backends.base import BackendLifecycle, Pairs, register
 from repro.errors import KernelError
-from repro.pixelbox.common import KernelStats, LaunchConfig, Method
-from repro.pixelbox.engine import BatchAreas, _start_box
-from repro.pixelbox.vectorized import EdgeTable, plan_levels, stacked_leaf_counts
+from repro.pixelbox.common import KernelStats, LaunchConfig
+from repro.pixelbox.kernel import BatchAreas, ChunkKernel, shard_policy
+from repro.pixelbox.vectorized import EdgeTable
 
 __all__ = ["MultiprocessBackend", "default_workers"]
-
-# Pairs per level-synchronous chunk inside one worker (bounds peak
-# memory; same value as the in-process engines).
-_PAIR_CHUNK = 4096
 
 # Fields of one serialized EdgeTable, in manifest order.
 _TABLE_FIELDS = ("xs", "lo", "hi", "ys", "xlo", "xhi", "offsets")
 
 
 def default_workers() -> int:
-    """Worker-count default: the host's cores, capped at 4."""
+    """Worker-count default: the host's cores, capped at 4.
+
+    The ``REPRO_WORKERS`` environment variable overrides the default —
+    CI uses it to run the parity suite at several pool widths.  A value
+    that does not parse is an error, not a silent fallback: the parity
+    matrix must never report green for a width it did not test.
+    """
+    env = os.environ.get("REPRO_WORKERS")
+    if env is not None:
+        try:
+            workers = int(env)
+        except ValueError:
+            workers = 0
+        if workers < 1:
+            raise KernelError(
+                f"REPRO_WORKERS must be a positive integer, got {env!r}"
+            )
+        return workers
     return max(1, min(4, os.cpu_count() or 1))
 
 
@@ -163,36 +180,16 @@ def _compute_shard(
 ) -> np.ndarray:
     """Intersection areas for global pair indices ``[lo, hi)``.
 
-    Identical per-pair computation to the vectorized engine: the plan
-    and the stacked leaf pixelization never mix pairs, so sharding at
-    any boundary preserves bit-for-bit results.
+    A thin adapter over :meth:`ChunkKernel.run_shard` under the shard
+    policy — the exact plan+stacked-pixelize sequence every other
+    executor runs, so sharding at any boundary preserves bit-for-bit
+    results *and* identical work counters.
     """
-    n_total = len(has_box)
-    inter = np.zeros(n_total, dtype=np.int64)
-    for c_lo in range(lo, hi, _PAIR_CHUNK):
-        c_hi = min(c_lo + _PAIR_CHUNK, hi)
-        stats.pairs += c_hi - c_lo
-        owner = c_lo + np.flatnonzero(has_box[c_lo:c_hi])
-        dec_i, _, leaves, leaf_owner = plan_levels(
-            table_p, table_q, boxes[owner], owner, cfg, Method.PIXELBOX,
-            stats, n_total,
-        )
-        # plan_levels scatters per global owner index; this chunk only
-        # touched [c_lo, c_hi), so only add that slice (a full-array add
-        # per chunk would make the shard quadratic in pair count).
-        inter[c_lo:c_hi] += dec_i[c_lo:c_hi]
-        stats.leaf_boxes += len(leaves)
-        if len(leaves):
-            sizes = (leaves[:, 2] - leaves[:, 0]) * (
-                leaves[:, 3] - leaves[:, 1]
-            )
-            stats.pixel_tests += 2 * int(sizes.sum())
-            leaf_i, _ = stacked_leaf_counts(
-                table_p, table_q, leaves, leaf_owner, want_union=False,
-                leaf_mode=cfg.leaf_mode,
-            )
-            np.add.at(inter, leaf_owner, leaf_i)
-    return inter[lo:hi]
+    kernel = ChunkKernel(shard_policy(), cfg)
+    inter, _ = kernel.run_shard(
+        table_p, table_q, boxes, has_box, lo, hi, stats
+    )
+    return inter
 
 
 def _worker(
@@ -336,19 +333,10 @@ class MultiprocessBackend(BackendLifecycle):
             zero = np.zeros(0, dtype=np.int64)
             return BatchAreas(zero, zero.copy(), zero.copy(), zero.copy(), stats)
 
+        kernel = ChunkKernel(shard_policy(), cfg)
+        a_p, a_q, boxes, has_box = kernel.route_pairs(pairs)
         table_p = EdgeTable.build([p for p, _ in pairs])
         table_q = EdgeTable.build([q for _, q in pairs])
-        boxes = np.zeros((n, 4), dtype=np.int64)
-        has_box = np.zeros(n, dtype=bool)
-        a_p = np.zeros(n, dtype=np.int64)
-        a_q = np.zeros(n, dtype=np.int64)
-        for i, (p, q) in enumerate(pairs):
-            a_p[i] = p.area
-            a_q[i] = q.area
-            start = _start_box(p, q, Method.PIXELBOX, cfg)
-            if start is not None:
-                has_box[i] = True
-                boxes[i] = start.as_tuple()
 
         if self.workers == 1 or n < max(self.min_pairs, 2 * self.workers):
             inter = _compute_shard(
@@ -357,9 +345,7 @@ class MultiprocessBackend(BackendLifecycle):
         else:
             inter = self._run_pool(table_p, table_q, boxes, has_box, cfg, stats)
 
-        union = a_p + a_q - inter
-        if np.any(union < 0):
-            raise KernelError("negative union area — inconsistent inputs")
+        union = kernel.finalize_union(inter, None, a_p, a_q, has_box)
         return BatchAreas(inter, union, a_p, a_q, stats)
 
     # ------------------------------------------------------------------

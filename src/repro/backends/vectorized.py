@@ -2,7 +2,10 @@
 
 One process, wide arrays: all pairs subdivide level by level and all
 leaves pixelize in one stacked XOR-scan launch — the in-process image of
-the GPU's execution shape (see :mod:`repro.pixelbox.vectorized`).
+the GPU's execution shape.  ``compute_pairs`` is a thin adapter over the
+shared chunk kernel (:class:`repro.pixelbox.kernel.ChunkKernel`) under
+the plain engine policy, so this backend can never drift from the
+batched or sharded executors.
 """
 
 from __future__ import annotations

@@ -5,6 +5,11 @@ pairs without constructing overlay geometry, by combining per-pixel
 crossing-parity tests (pixelization) with a recursive sampling-box
 subdivision whose positions are decided by Lemma 1.
 
+All batched execution flows through one shared chunk kernel
+(:class:`~repro.pixelbox.kernel.ChunkKernel`, configured by an explicit
+:class:`~repro.pixelbox.kernel.ExecutionPolicy`), so execution policy —
+chunking, batching, sharding, union mode — can never change results.
+
 Implementations, from fastest to most faithful:
 
 * :func:`batch_areas` — stacked NumPy kernel, many pairs per launch (the
@@ -29,6 +34,13 @@ from repro.pixelbox.common import (
 )
 from repro.pixelbox.cpu import PixelBoxCpu, pair_areas_scalar
 from repro.pixelbox.engine import BatchAreas, compute_pair, compute_pairs
+from repro.pixelbox.kernel import (
+    ChunkKernel,
+    ExecutionPolicy,
+    batch_policy,
+    engine_policy,
+    shard_policy,
+)
 from repro.pixelbox.operators import (
     contains_pixelbox,
     equals_pixelbox,
@@ -52,6 +64,11 @@ __all__ = [
     "compute_pair",
     "compute_pairs",
     "compute_batch",
+    "ChunkKernel",
+    "ExecutionPolicy",
+    "engine_policy",
+    "batch_policy",
+    "shard_policy",
     "BatchAreas",
     "PairAreas",
     "KernelStats",

@@ -1,7 +1,9 @@
 """Production batched device kernel: many polygon pairs per launch.
 
 This is what the pipeline's aggregator stage launches on the (simulated)
-GPU.  Small pairs — the overwhelming majority in pathology workloads — are
+GPU.  It is a thin adapter over the shared chunk kernel
+(:class:`repro.pixelbox.kernel.ChunkKernel`) under the *batch policy*:
+small pairs — the overwhelming majority in pathology workloads — are
 pixelized directly over their pair MBR in one stacked launch; pairs whose
 MBR exceeds :data:`BATCH_MAX_DIM` go through the sampling-box subdivision
 first and contribute their leaf boxes to the same stacked launch.  Union
@@ -14,21 +16,19 @@ even when their MBR is above the pixelization threshold).
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.errors import KernelError
 from repro.geometry.polygon import RectilinearPolygon
-from repro.pixelbox.common import KernelStats, LaunchConfig, Method
-from repro.pixelbox.engine import BatchAreas, _start_box
-from repro.pixelbox.vectorized import EdgeTable, plan_levels, stacked_leaf_counts
+from repro.pixelbox.common import LaunchConfig
+from repro.pixelbox.kernel import (
+    DEFAULT_SKIP_SUBDIVISION_DIM,
+    BatchAreas,
+    ChunkKernel,
+    batch_policy,
+)
 
 __all__ = ["compute_batch", "BATCH_MAX_DIM"]
 
 # Pairs with MBR width or height above this run sampling-box subdivision.
-BATCH_MAX_DIM = 64
-
-# Pairs per chunk (bounds peak memory of the stacked tensors).
-_PAIR_CHUNK = 4096
+BATCH_MAX_DIM = DEFAULT_SKIP_SUBDIVISION_DIM
 
 
 def compute_batch(
@@ -36,71 +36,4 @@ def compute_batch(
     config: LaunchConfig | None = None,
 ) -> BatchAreas:
     """Areas for a batch of pairs using the stacked parity-fill kernel."""
-    cfg = config or LaunchConfig()
-    n = len(pairs)
-    stats = KernelStats()
-    inter = np.zeros(n, dtype=np.int64)
-    a_p = np.zeros(n, dtype=np.int64)
-    a_q = np.zeros(n, dtype=np.int64)
-
-    for lo in range(0, n, _PAIR_CHUNK):
-        hi = min(lo + _PAIR_CHUNK, n)
-        _batch_chunk(
-            pairs[lo:hi], cfg, stats, inter[lo:hi], a_p[lo:hi], a_q[lo:hi]
-        )
-
-    union = a_p + a_q - inter
-    if np.any(union < 0):
-        raise KernelError("negative union area — inconsistent inputs")
-    return BatchAreas(inter, union, a_p, a_q, stats)
-
-
-def _batch_chunk(
-    pairs: list[tuple[RectilinearPolygon, RectilinearPolygon]],
-    cfg: LaunchConfig,
-    stats: KernelStats,
-    inter: np.ndarray,
-    a_p: np.ndarray,
-    a_q: np.ndarray,
-) -> None:
-    """One chunk: route small pairs straight to leaves, large through plan."""
-    m = len(pairs)
-    stats.pairs += m
-    table_p = EdgeTable.build([p for p, _ in pairs])
-    table_q = EdgeTable.build([q for _, q in pairs])
-
-    boxes = np.zeros((m, 4), dtype=np.int64)
-    small = np.zeros(m, dtype=bool)
-    large = np.zeros(m, dtype=bool)
-    for i, (p, q) in enumerate(pairs):
-        a_p[i] = p.area
-        a_q[i] = q.area
-        mbr = _start_box(p, q, Method.PIXELBOX, cfg)
-        if mbr is None:
-            continue
-        boxes[i] = mbr.as_tuple()
-        if mbr.width <= BATCH_MAX_DIM and mbr.height <= BATCH_MAX_DIM:
-            small[i] = True
-        else:
-            large[i] = True
-    stats.batched_pairs += int(small.sum())
-    stats.fallback_pairs += int(large.sum())
-
-    large_idx = np.flatnonzero(large)
-    dec_i, _, plan_leaves, plan_owner = plan_levels(
-        table_p, table_q, boxes[large_idx], large_idx, cfg, Method.PIXELBOX,
-        stats, m,
-    )
-    inter += dec_i
-
-    small_idx = np.flatnonzero(small)
-    leaves = np.concatenate([boxes[small_idx], plan_leaves], axis=0)
-    leaf_owner = np.concatenate([small_idx, plan_owner])
-    stats.leaf_boxes += len(leaves)
-    if len(leaves):
-        sizes = (leaves[:, 2] - leaves[:, 0]) * (leaves[:, 3] - leaves[:, 1])
-        stats.pixel_tests += 2 * int(sizes.sum())
-        leaf_i, _ = stacked_leaf_counts(
-            table_p, table_q, leaves, leaf_owner, want_union=False
-        )
-        np.add.at(inter, leaf_owner, leaf_i)
+    return ChunkKernel(batch_policy(BATCH_MAX_DIM), config).compute(pairs)

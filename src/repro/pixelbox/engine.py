@@ -4,12 +4,13 @@ It follows Algorithm 1's structure — an explicit sampling-box stack, a
 partition-classify step, pixelization below the threshold ``T`` — with the
 thread-block-wide data parallelism mapped onto NumPy array operations:
 
-* one partitioning step classifies all ``blockDim`` sub-boxes at once
-  (:func:`~repro.pixelbox.sampling.box_positions_vectorized`);
-* the batch entry point defers every leaf box and pixelizes all of them
-  in one stacked XOR-scan launch
-  (:func:`~repro.pixelbox.stacked.stacked_parity_counts`), the way the GPU
-  pixelizes thousands of thread-block leaves per kernel call.
+* :func:`compute_pair` walks one pair with an explicit stack, the
+  per-pair reference for every batched executor;
+* :func:`compute_pairs` delegates to the shared chunk kernel
+  (:class:`repro.pixelbox.kernel.ChunkKernel`) under the plain engine
+  policy: every pair subdivides level-synchronously and all leaf boxes
+  pixelize in one stacked XOR-scan launch, the way the GPU pixelizes
+  thousands of thread-block leaves per kernel call.
 
 Results are exact integer areas, cross-validated against
 :mod:`repro.exact` in the test-suite (the paper validated against PostGIS
@@ -18,11 +19,8 @@ the same way, §3.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
-from repro.errors import KernelError
 from repro.geometry.box import Box
 from repro.geometry.polygon import RectilinearPolygon
 from repro.geometry.raster import parity_fill
@@ -33,48 +31,19 @@ from repro.pixelbox.common import (
     Method,
     PairAreas,
 )
-from repro.pixelbox.sampling import box_positions_vectorized
-from repro.pixelbox.vectorized import (
-    EdgeTable,
-    plan_levels,
-    stacked_leaf_counts,
+from repro.pixelbox.kernel import (
+    BatchAreas,
+    ChunkKernel,
+    engine_policy,
+    start_box as _start_box,
 )
+from repro.pixelbox.sampling import box_positions_vectorized
 
 __all__ = ["compute_pair", "compute_pairs", "BatchAreas"]
 
 _IN = BoxPosition.INSIDE.value
 _OUT = BoxPosition.OUTSIDE.value
 _HOVER = BoxPosition.HOVER.value
-
-
-@dataclass(slots=True)
-class BatchAreas:
-    """Exact areas for a batch of polygon pairs (parallel arrays)."""
-
-    intersection: np.ndarray
-    union: np.ndarray
-    area_p: np.ndarray
-    area_q: np.ndarray
-    stats: KernelStats
-
-    def __len__(self) -> int:
-        return len(self.intersection)
-
-    def ratios(self) -> np.ndarray:
-        """Per-pair Jaccard ratios; 0 for pairs with an empty union."""
-        out = np.zeros(len(self.intersection), dtype=np.float64)
-        nz = self.union > 0
-        out[nz] = self.intersection[nz] / self.union[nz]
-        return out
-
-    def pair(self, i: int) -> PairAreas:
-        """The ``i``-th result as a :class:`PairAreas` value."""
-        return PairAreas(
-            int(self.intersection[i]),
-            int(self.union[i]),
-            int(self.area_p[i]),
-            int(self.area_q[i]),
-        )
 
 
 def compute_pair(
@@ -118,10 +87,6 @@ def compute_pair(
     return PairAreas(dec_i, dec_u, area_p, area_q)
 
 
-# Pairs processed per level-synchronous chunk (bounds peak memory).
-_PAIR_CHUNK = 4096
-
-
 def compute_pairs(
     pairs: list[tuple[RectilinearPolygon, RectilinearPolygon]],
     method: Method = Method.PIXELBOX,
@@ -129,99 +94,19 @@ def compute_pairs(
 ) -> BatchAreas:
     """Areas for a pair list, executed the way the device executes them.
 
-    Phase 1 runs the sampling-box subdivision for *all* pairs level by
-    level (pure array classification, no pixel work); phase 2 pixelizes
-    the leaf boxes of all pairs in one stacked XOR-scan launch.  This is
-    the execution shape of the GPU kernel and 10-50x faster than per-pair
-    evaluation, with bit-identical results.
+    A thin adapter over the shared chunk kernel: phase 1 runs the
+    sampling-box subdivision for *all* pairs level by level (pure array
+    classification, no pixel work); phase 2 pixelizes the leaf boxes of
+    all pairs in one stacked XOR-scan launch.  This is the execution
+    shape of the GPU kernel and 10-50x faster than per-pair evaluation,
+    with bit-identical results.
     """
-    cfg = config or LaunchConfig()
-    stats = KernelStats()
-    n = len(pairs)
-    inter = np.zeros(n, dtype=np.int64)
-    uni = np.zeros(n, dtype=np.int64)
-    a_p = np.zeros(n, dtype=np.int64)
-    a_q = np.zeros(n, dtype=np.int64)
-
-    for lo in range(0, n, _PAIR_CHUNK):
-        hi = min(lo + _PAIR_CHUNK, n)
-        _compute_chunk(
-            pairs[lo:hi], method, cfg, stats,
-            inter[lo:hi], uni[lo:hi], a_p[lo:hi], a_q[lo:hi],
-        )
-
-    if method is Method.PIXELBOX:
-        uni = a_p + a_q - inter
-    if np.any(uni < inter) or np.any(uni != a_p + a_q - inter):
-        raise KernelError("inconsistent areas in batch result")
-    return BatchAreas(inter, uni, a_p, a_q, stats)
-
-
-def _compute_chunk(
-    pairs: list[tuple[RectilinearPolygon, RectilinearPolygon]],
-    method: Method,
-    cfg: LaunchConfig,
-    stats: KernelStats,
-    inter: np.ndarray,
-    uni: np.ndarray,
-    a_p: np.ndarray,
-    a_q: np.ndarray,
-) -> None:
-    """Plan + stacked pixelization for one chunk of pairs (in place)."""
-    m = len(pairs)
-    stats.pairs += m
-    table_p = EdgeTable.build([p for p, _ in pairs])
-    table_q = EdgeTable.build([q for _, q in pairs])
-    boxes = np.zeros((m, 4), dtype=np.int64)
-    has_box = np.ones(m, dtype=bool)
-    for i, (p, q) in enumerate(pairs):
-        a_p[i] = p.area
-        a_q[i] = q.area
-        start = _start_box(p, q, method, cfg)
-        if start is None:
-            has_box[i] = False
-        else:
-            boxes[i] = start.as_tuple()
-
-    owner = np.flatnonzero(has_box)
-    dec_i, dec_u, leaves, leaf_owner = plan_levels(
-        table_p, table_q, boxes[owner], owner, cfg, method, stats, m
-    )
-    inter += dec_i
-    uni += dec_u
-    stats.leaf_boxes += len(leaves)
-    if len(leaves):
-        sizes = (leaves[:, 2] - leaves[:, 0]) * (leaves[:, 3] - leaves[:, 1])
-        stats.pixel_tests += 2 * int(sizes.sum())
-        want_union = method is not Method.PIXELBOX
-        leaf_i, leaf_u = stacked_leaf_counts(
-            table_p, table_q, leaves, leaf_owner, want_union,
-            leaf_mode=cfg.leaf_mode,
-        )
-        np.add.at(inter, leaf_owner, leaf_i)
-        if want_union:
-            np.add.at(uni, leaf_owner, leaf_u)
+    return ChunkKernel(engine_policy(method), config).compute(pairs)
 
 
 # ----------------------------------------------------------------------
-# Internals
+# Per-pair internals (the stack-walking reference path)
 # ----------------------------------------------------------------------
-def _start_box(
-    p: RectilinearPolygon,
-    q: RectilinearPolygon,
-    method: Method,
-    cfg: LaunchConfig,
-) -> Box | None:
-    """First sampling box ({m_i} in Algorithm 1)."""
-    if not isinstance(method, Method):
-        raise KernelError(f"unknown method {method!r}")
-    if cfg.tight_mbr:
-        if method is not Method.PIXELBOX:
-            raise KernelError("tight_mbr is only valid for the PIXELBOX variant")
-        return p.mbr.intersect(q.mbr)
-    return p.mbr.cover(q.mbr)
-
-
 def _pixelize_box(
     p: RectilinearPolygon,
     q: RectilinearPolygon,

@@ -1,0 +1,461 @@
+"""The shared chunk kernel: one algorithm, explicit execution policies.
+
+The paper's PixelBox kernel is a single algorithm (§3.1-§3.3) whose
+executions differ only in *policy* — how pairs are grouped into chunks,
+whether the union is measured directly or derived from
+``|p u q| = |p| + |q| - |p n q|``, and whether small pairs skip the
+sampling-box subdivision and pixelize straight over their MBR (the
+production batching trick).  Before this module existed, the
+plan+stacked-pixelize sequence was hand-assembled three times —
+``engine.compute_pairs``, ``batch.compute_batch``, and the multiprocess
+backend's worker shard — and the copies drifted: the batched path
+under-counted ``pops``, ignored ``leaf_mode``, and the no-start-box
+branch left a zero union for direct-union methods, which the final
+consistency check would report as a :class:`~repro.errors.KernelError`
+on perfectly valid disjoint input.  (That last branch was latent —
+reachable only once a policy prefilters disjoint MBRs, which the
+tight-MBR policy does for PIXELBOX and future backends may do for any
+method — the kernel closes it for every policy rather than copying it a
+fourth time.)
+
+Now the sequence lives here exactly once:
+
+* :class:`ExecutionPolicy` — declarative knobs (algorithm variant, union
+  mode, small-pair skip-subdivision dimension, chunk size);
+* :class:`ChunkKernel` — edge-table build, start-box routing,
+  level-synchronous planning, stacked leaf pixelization, and per-pair
+  scatter, parameterized by a policy;
+* the three execution paths (and any future CUDA or distributed-shard
+  backend) are thin adapters that pick a policy and call
+  :meth:`ChunkKernel.compute` or :meth:`ChunkKernel.run_shard`.
+
+This module is the **only** caller of
+:func:`repro.pixelbox.vectorized.plan_levels` and
+:func:`repro.pixelbox.vectorized.stacked_leaf_counts`
+(``tools/check_kernel_seam.py`` enforces the seam), so an execution
+policy can never change results — only wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.geometry.box import Box
+from repro.geometry.polygon import RectilinearPolygon
+from repro.pixelbox.common import (
+    KernelStats,
+    LaunchConfig,
+    Method,
+    PairAreas,
+)
+from repro.pixelbox.vectorized import (
+    EdgeTable,
+    plan_levels,
+    stacked_leaf_counts,
+)
+
+__all__ = [
+    "BatchAreas",
+    "ChunkKernel",
+    "ExecutionPolicy",
+    "DEFAULT_CHUNK_PAIRS",
+    "DEFAULT_SKIP_SUBDIVISION_DIM",
+    "start_box",
+    "engine_policy",
+    "batch_policy",
+    "shard_policy",
+]
+
+# Pairs processed per level-synchronous chunk (bounds peak memory of the
+# stacked planning and pixelization tensors); shared by every path.
+DEFAULT_CHUNK_PAIRS = 4096
+
+# Default skip-subdivision bound of the production batch policy: pairs
+# whose MBR fits a 64x64 thread block pixelize directly.
+DEFAULT_SKIP_SUBDIVISION_DIM = 64
+
+
+@dataclass(slots=True)
+class BatchAreas:
+    """Exact areas for a batch of polygon pairs (parallel arrays)."""
+
+    intersection: np.ndarray
+    union: np.ndarray
+    area_p: np.ndarray
+    area_q: np.ndarray
+    stats: KernelStats
+
+    def __len__(self) -> int:
+        return len(self.intersection)
+
+    def ratios(self) -> np.ndarray:
+        """Per-pair Jaccard ratios; 0 for pairs with an empty union."""
+        out = np.zeros(len(self.intersection), dtype=np.float64)
+        nz = self.union > 0
+        out[nz] = self.intersection[nz] / self.union[nz]
+        return out
+
+    def pair(self, i: int) -> PairAreas:
+        """The ``i``-th result as a :class:`PairAreas` value."""
+        return PairAreas(
+            int(self.intersection[i]),
+            int(self.union[i]),
+            int(self.area_p[i]),
+            int(self.area_q[i]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionPolicy:
+    """How the chunk kernel executes — never what it computes.
+
+    Attributes
+    ----------
+    method:
+        Algorithm variant (paper §5.2): ``PIXEL_ONLY``, ``NOSEP``, or
+        ``PIXELBOX``.
+    union_mode:
+        ``"indirect"`` derives unions from
+        ``|p u q| = |p| + |q| - |p n q|`` (the PixelBox optimization,
+        §3.2); ``"direct"`` measures them alongside the intersection
+        (what NoSep and PixelOnly do on the device); ``"auto"`` (default)
+        picks indirect for ``PIXELBOX`` and direct otherwise.  Explicit
+        ``"direct"`` is rejected for ``PIXELBOX`` — that variant never
+        measures union by boxes, so there is nothing to report directly.
+    skip_subdivision_max_dim:
+        When set, pairs whose start-box width *and* height are at most
+        this bound skip the sampling-box subdivision and pixelize
+        directly over the start box — the production batch policy
+        (``BATCH_MAX_DIM``).  ``None`` (default) always subdivides.
+    chunk_pairs:
+        Pairs per level-synchronous chunk (bounds peak memory).
+    """
+
+    method: Method = Method.PIXELBOX
+    union_mode: str = "auto"
+    skip_subdivision_max_dim: int | None = None
+    chunk_pairs: int = DEFAULT_CHUNK_PAIRS
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.method, Method):
+            raise KernelError(f"unknown method {self.method!r}")
+        if self.union_mode not in ("auto", "direct", "indirect"):
+            raise KernelError(
+                "union_mode must be 'auto', 'direct', or 'indirect', "
+                f"got {self.union_mode!r}"
+            )
+        if self.union_mode == "direct" and self.method is Method.PIXELBOX:
+            raise KernelError(
+                "the PIXELBOX variant never measures union directly; "
+                "use union_mode='indirect' (or 'auto')"
+            )
+        if (
+            self.skip_subdivision_max_dim is not None
+            and self.skip_subdivision_max_dim < 1
+        ):
+            raise KernelError(
+                "skip_subdivision_max_dim must be >= 1 or None, got "
+                f"{self.skip_subdivision_max_dim}"
+            )
+        if self.chunk_pairs < 1:
+            raise KernelError(
+                f"chunk_pairs must be >= 1, got {self.chunk_pairs}"
+            )
+
+    @property
+    def indirect_union(self) -> bool:
+        """Whether unions are derived from the inclusion-exclusion identity."""
+        if self.union_mode == "auto":
+            return self.method is Method.PIXELBOX
+        return self.union_mode == "indirect"
+
+    @property
+    def measures_union(self) -> bool:
+        """Whether planning/pixelization must track union counts at all."""
+        return not self.indirect_union
+
+
+def engine_policy(method: Method = Method.PIXELBOX) -> ExecutionPolicy:
+    """The per-variant engine policy: always subdivide, chunked."""
+    return ExecutionPolicy(method=method)
+
+
+def batch_policy(
+    max_dim: int = DEFAULT_SKIP_SUBDIVISION_DIM,
+) -> ExecutionPolicy:
+    """The production batched-device policy (small pairs skip subdivision)."""
+    return ExecutionPolicy(
+        method=Method.PIXELBOX, skip_subdivision_max_dim=max_dim
+    )
+
+
+def shard_policy() -> ExecutionPolicy:
+    """The multiprocess shard policy (identical plan to the engine)."""
+    return ExecutionPolicy(method=Method.PIXELBOX)
+
+
+def start_box(
+    p: RectilinearPolygon,
+    q: RectilinearPolygon,
+    method: Method,
+    cfg: LaunchConfig,
+) -> Box | None:
+    """First sampling box ({m_i} in Algorithm 1), or ``None``.
+
+    ``None`` means the pair provably has an empty intersection before any
+    kernel work — today that is the tight-MBR policy meeting disjoint
+    MBRs.  Every execution path must then report
+    ``union = |p| + |q|`` for direct-union methods instead of leaving the
+    slot zero (the latent batched disjoint-pair crash closed by
+    :meth:`ChunkKernel.finalize_union`).
+    """
+    if not isinstance(method, Method):
+        raise KernelError(f"unknown method {method!r}")
+    if cfg.tight_mbr:
+        if method is not Method.PIXELBOX:
+            raise KernelError("tight_mbr is only valid for the PIXELBOX variant")
+        return p.mbr.intersect(q.mbr)
+    return p.mbr.cover(q.mbr)
+
+
+class ChunkKernel:
+    """The plan + stacked-pixelize sequence, parameterized by a policy.
+
+    One instance is cheap (two dataclass references); executors construct
+    it per call with their policy and launch config.  The kernel exposes
+    three altitudes:
+
+    * :meth:`compute` — the full pipeline for a pair list (routing,
+      chunking, edge tables, finalization): what in-process executors
+      call.
+    * :meth:`run_shard` — the chunk loop over a contiguous index range of
+      *prebuilt* global edge tables: what a worker process (or a future
+      remote shard) calls after attaching shared state.
+    * :meth:`run_chunk` — one chunk of the sequence: the only code in the
+      repository invoking ``plan_levels`` / ``stacked_leaf_counts``.
+
+    Work counters are charged identically on every altitude, so service
+    metrics and the Figure 2/9 experiments see the same numbers for the
+    same input and policy regardless of executor.
+    """
+
+    def __init__(
+        self, policy: ExecutionPolicy, config: LaunchConfig | None = None
+    ):
+        self.policy = policy
+        self.cfg = config or LaunchConfig()
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def route_pairs(
+        self, pairs: list[tuple[RectilinearPolygon, RectilinearPolygon]]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Areas and start boxes for every pair.
+
+        Returns ``(a_p, a_q, boxes, has_box)``; ``boxes[i]`` is only
+        meaningful where ``has_box[i]``.
+        """
+        n = len(pairs)
+        a_p = np.zeros(n, dtype=np.int64)
+        a_q = np.zeros(n, dtype=np.int64)
+        boxes = np.zeros((n, 4), dtype=np.int64)
+        has_box = np.zeros(n, dtype=bool)
+        for i, (p, q) in enumerate(pairs):
+            a_p[i] = p.area
+            a_q[i] = q.area
+            start = start_box(p, q, self.policy.method, self.cfg)
+            if start is not None:
+                has_box[i] = True
+                boxes[i] = start.as_tuple()
+        return a_p, a_q, boxes, has_box
+
+    # ------------------------------------------------------------------
+    # The shared sequence
+    # ------------------------------------------------------------------
+    def run_chunk(
+        self,
+        table_p: EdgeTable,
+        table_q: EdgeTable,
+        boxes: np.ndarray,
+        has_box: np.ndarray,
+        row_base: int,
+        stats: KernelStats,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Intersection (and direct-union) areas for one chunk of pairs.
+
+        ``boxes``/``has_box`` hold the chunk's ``m`` pairs; pair ``i`` of
+        the chunk owns row ``row_base + i`` of the edge tables (0 when
+        the tables were built for this chunk alone, the global pair index
+        when a shard walks prebuilt global tables).
+
+        Returns ``(inter, uni)`` of length ``m``; ``uni`` is all-zero
+        under an indirect-union policy.
+        """
+        policy = self.policy
+        cfg = self.cfg
+        m = len(boxes)
+        stats.pairs += m
+        inter = np.zeros(m, dtype=np.int64)
+        uni = np.zeros(m, dtype=np.int64)
+        rows = row_base + np.arange(m, dtype=np.int64)
+
+        # Start-box routing: every routable pair goes to the planner,
+        # unless the policy pixelizes small pairs directly.
+        if policy.skip_subdivision_max_dim is not None:
+            dim = policy.skip_subdivision_max_dim
+            widths = boxes[:, 2] - boxes[:, 0]
+            heights = boxes[:, 3] - boxes[:, 1]
+            small = has_box & (widths <= dim) & (heights <= dim)
+            large = has_box & ~small
+            stats.batched_pairs += int(np.count_nonzero(small))
+            stats.fallback_pairs += int(np.count_nonzero(large))
+        else:
+            small = np.zeros(m, dtype=bool)
+            large = has_box
+
+        # A skip-routed start box is still one sampling box taken off the
+        # stack (Algorithm 1 pops it, decides nothing, pixelizes); charge
+        # it like the planner charges its frontier so `pops` agrees
+        # across policies whenever the plans agree.
+        stats.pops += int(np.count_nonzero(small))
+
+        # Level-synchronous planning for the subdividing pairs.
+        large_rows = rows[large]
+        if len(large_rows):
+            dec_i, dec_u, plan_leaves, plan_rows = plan_levels(
+                table_p,
+                table_q,
+                boxes[large],
+                large_rows,
+                cfg,
+                policy.method,
+                stats,
+                row_base + m,
+            )
+            inter += dec_i[row_base:]
+            if policy.measures_union:
+                uni += dec_u[row_base:]
+        else:
+            plan_leaves = np.zeros((0, 4), dtype=np.int64)
+            plan_rows = np.zeros(0, dtype=np.int64)
+
+        # Stacked pixelization of every leaf: skip-routed start boxes and
+        # the planner's undecided sub-threshold boxes, one launch.
+        leaves = np.concatenate([boxes[small], plan_leaves], axis=0)
+        leaf_rows = np.concatenate([rows[small], plan_rows])
+        stats.leaf_boxes += len(leaves)
+        if len(leaves):
+            sizes = (leaves[:, 2] - leaves[:, 0]) * (
+                leaves[:, 3] - leaves[:, 1]
+            )
+            stats.pixel_tests += 2 * int(sizes.sum())
+            leaf_i, leaf_u = stacked_leaf_counts(
+                table_p,
+                table_q,
+                leaves,
+                leaf_rows,
+                want_union=policy.measures_union,
+                leaf_mode=cfg.leaf_mode,
+            )
+            np.add.at(inter, leaf_rows - row_base, leaf_i)
+            if policy.measures_union:
+                np.add.at(uni, leaf_rows - row_base, leaf_u)
+        return inter, uni
+
+    def run_shard(
+        self,
+        table_p: EdgeTable,
+        table_q: EdgeTable,
+        boxes: np.ndarray,
+        has_box: np.ndarray,
+        lo: int,
+        hi: int,
+        stats: KernelStats,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Chunked kernel over global pair indices ``[lo, hi)``.
+
+        The edge tables cover *all* pairs (one serialization, many
+        shards); the plan and the stacked pixelization never mix pairs,
+        so sharding at any boundary preserves bit-for-bit results.
+        Returns ``(inter, uni)`` slices of length ``hi - lo``.
+        """
+        inter = np.zeros(hi - lo, dtype=np.int64)
+        uni = np.zeros(hi - lo, dtype=np.int64)
+        for c_lo in range(lo, hi, self.policy.chunk_pairs):
+            c_hi = min(c_lo + self.policy.chunk_pairs, hi)
+            c_inter, c_uni = self.run_chunk(
+                table_p,
+                table_q,
+                boxes[c_lo:c_hi],
+                has_box[c_lo:c_hi],
+                c_lo,
+                stats,
+            )
+            inter[c_lo - lo : c_hi - lo] = c_inter
+            uni[c_lo - lo : c_hi - lo] = c_uni
+        return inter, uni
+
+    # ------------------------------------------------------------------
+    # Full pipeline
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        pairs: list[tuple[RectilinearPolygon, RectilinearPolygon]],
+        stats: KernelStats | None = None,
+    ) -> BatchAreas:
+        """Exact areas for a pair list under this kernel's policy."""
+        st = stats if stats is not None else KernelStats()
+        n = len(pairs)
+        a_p, a_q, boxes, has_box = self.route_pairs(pairs)
+        inter = np.zeros(n, dtype=np.int64)
+        uni = np.zeros(n, dtype=np.int64)
+        for lo in range(0, n, self.policy.chunk_pairs):
+            hi = min(lo + self.policy.chunk_pairs, n)
+            chunk = pairs[lo:hi]
+            table_p = EdgeTable.build([p for p, _ in chunk])
+            table_q = EdgeTable.build([q for _, q in chunk])
+            inter[lo:hi], uni[lo:hi] = self.run_chunk(
+                table_p, table_q, boxes[lo:hi], has_box[lo:hi], 0, st
+            )
+        uni = self.finalize_union(inter, uni, a_p, a_q, has_box)
+        return BatchAreas(inter, uni, a_p, a_q, st)
+
+    def finalize_union(
+        self,
+        inter: np.ndarray,
+        uni: np.ndarray | None,
+        a_p: np.ndarray,
+        a_q: np.ndarray,
+        has_box: np.ndarray,
+    ) -> np.ndarray:
+        """Union vector under the policy's union mode, consistency-checked.
+
+        Direct-union methods only measure what the kernel visited: a pair
+        routed to no start box (disjoint MBRs under a pre-filtering
+        policy) was never planned or pixelized, so its union is completed
+        here as ``|p| + |q|`` — exactly what the per-pair engine returns
+        for a ``None`` start box.  Leaving those slots zero was the
+        latent drift in the hand-copied paths: a direct-union method
+        meeting a prefiltered pair would have tripped the consistency
+        check below as a ``KernelError`` on valid disjoint input.
+
+        ``uni`` may be ``None`` under an indirect-union policy (nothing
+        was measured, so there is nothing to pass).
+        """
+        if self.policy.indirect_union:
+            uni = a_p + a_q - inter
+        else:
+            if uni is None:
+                raise KernelError(
+                    "direct-union policy requires measured union counts"
+                )
+            uni = uni.copy()
+            no_box = ~has_box
+            uni[no_box] = a_p[no_box] + a_q[no_box]
+        if np.any(uni < inter) or np.any(uni != a_p + a_q - inter):
+            raise KernelError("inconsistent areas in batch result")
+        return uni

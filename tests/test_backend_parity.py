@@ -157,6 +157,57 @@ def test_backends_agree_under_nondefault_config(workloads):
 
 
 # ----------------------------------------------------------------------
+# Degenerate-input sweep: every backend, every boundary condition
+# ----------------------------------------------------------------------
+def _degenerate_scenarios():
+    """Boundary workloads every current and future backend must survive.
+
+    Keyed by name -> ``(pairs, config)``.  Polygons stay tiny so even the
+    pure-Python simt replay finishes instantly at ``threshold=1``.
+    """
+    unit = RectilinearPolygon.from_box(Box(0, 0, 1, 1))
+    small = RectilinearPolygon.from_box(Box(0, 0, 5, 5))
+    sliver = RectilinearPolygon.from_box(Box(0, 0, 1, 9))
+    far = RectilinearPolygon.from_box(Box(50, 50, 55, 55))
+    farther = RectilinearPolygon.from_box(Box(200, 7, 205, 12))
+    overlapping = RectilinearPolygon.from_box(Box(3, 3, 8, 8))
+    disjoint_batch = [
+        (small, far),
+        (unit, farther),
+        (sliver, far),
+        (far, farther),
+        (small, small.translate(100, 0)),
+    ]
+    return {
+        "empty": ([], None),
+        "single-pair": ([(small, overlapping)], None),
+        "all-disjoint": (disjoint_batch, None),
+        "tight-mbr": (disjoint_batch + [(small, overlapping)],
+                      LaunchConfig(tight_mbr=True)),
+        "threshold-1": ([(small, overlapping), (small, far), (unit, unit)],
+                        LaunchConfig(pixel_threshold=1)),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(backend_registry()))
+@pytest.mark.parametrize("scenario", sorted(_degenerate_scenarios()))
+def test_backend_survives_degenerate_inputs(name, scenario):
+    """Empty lists, all-disjoint batches, tight MBRs, threshold=1: the
+    sweep runs through the registry so every future backend inherits it."""
+    pairs, cfg = _degenerate_scenarios()[scenario]
+    result = get_backend(name).compare_pairs(pairs, cfg)
+    assert len(result) == len(pairs)
+    ref_inter = np.array(
+        [boolean.intersection(p, q).area for p, q in pairs], dtype=np.int64
+    )
+    area_p = np.array([p.area for p, _ in pairs], dtype=np.int64)
+    area_q = np.array([q.area for _, q in pairs], dtype=np.int64)
+    assert np.array_equal(result.intersection, ref_inter)
+    assert np.array_equal(result.union, area_p + area_q - ref_inter)
+    assert result.stats.pairs == len(pairs)
+
+
+# ----------------------------------------------------------------------
 # Lifecycle: every backend is a context manager with an idempotent close
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("name", sorted(backend_registry()))

@@ -1,0 +1,33 @@
+"""The chunk-kernel seam guard, run as part of the tier-1 suite.
+
+A fourth hand-rolled copy of the plan+stacked-pixelize sequence is the
+failure mode behind the latent batched disjoint-pair crash and the
+per-path counter drift; this test
+(and the identical CI step, ``tools/check_kernel_seam.py``) makes such a
+copy fail loudly at review time instead of drifting silently.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+from check_kernel_seam import ALLOWLIST, violations  # noqa: E402
+
+
+def test_kernel_sequence_is_invoked_from_exactly_one_module():
+    found = violations(REPO_ROOT / "src")
+    assert not found, (
+        "plan_levels/stacked_leaf_counts used outside the kernel seam "
+        f"(allowlist: {sorted(ALLOWLIST)}): "
+        + "; ".join(f"{p}:{n}" for p, n, _ in found)
+    )
+
+
+def test_allowlisted_modules_exist():
+    for rel in ALLOWLIST:
+        assert (REPO_ROOT / "src" / rel).is_file(), rel

@@ -1,0 +1,311 @@
+"""Shared chunk kernel: policy validation, drift regressions, stats parity.
+
+The kernel seam (:mod:`repro.pixelbox.kernel`) exists so the three
+execution paths — per-pair engine, chunked/batched device kernel, and
+the multiprocess shard worker — cannot drift.  These tests pin the two
+historical drift classes:
+
+* the *disjoint-pair union bug*: direct-union methods (NoSep, PixelOnly)
+  must report ``union = |p| + |q|`` for pairs the kernel never planned
+  (no start box / disjoint MBRs) instead of a zero union that the final
+  consistency check rejects as a ``KernelError`` — latent in the
+  hand-copied paths (only the tight-MBR PIXELBOX policy prefilters
+  today), armed the moment any policy prefilters disjoint MBRs for a
+  direct-union method;
+* *counter drift*: the same input charged different ``pops`` /
+  ``leaf_boxes`` / ``pixel_tests`` depending on the executor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import available_backends, get_backend
+from repro.errors import KernelError
+from repro.geometry.box import Box
+from repro.geometry.polygon import RectilinearPolygon
+from repro.geometry.raster import extract_polygons, fill_holes
+from repro.pixelbox.batch import BATCH_MAX_DIM, compute_batch
+from repro.pixelbox.common import KernelStats, LaunchConfig, Method
+from repro.pixelbox.engine import compute_pair, compute_pairs
+from repro.pixelbox.kernel import (
+    DEFAULT_CHUNK_PAIRS,
+    ChunkKernel,
+    ExecutionPolicy,
+    batch_policy,
+    engine_policy,
+    shard_policy,
+    start_box,
+)
+
+
+def rect(x0, y0, x1, y1):
+    return RectilinearPolygon.from_box(Box(x0, y0, x1, y1))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20260730)
+
+
+def random_pair(rng, h=12, w=14, density=0.5):
+    def one():
+        while True:
+            mask = fill_holes(rng.random((h, w)) < density)
+            polys = extract_polygons(mask)
+            if polys:
+                return max(polys, key=lambda p: p.area)
+
+    return one(), one()
+
+
+# ----------------------------------------------------------------------
+# Disjoint / touching / sliver pairs: batched == per-pair, every variant
+# ----------------------------------------------------------------------
+def _contact_cases():
+    """Pairs around the MBR-contact boundary (the historical crash zone)."""
+    return {
+        "disjoint": (rect(0, 0, 10, 10), rect(20, 20, 30, 30)),
+        "disjoint-x": (rect(0, 0, 10, 10), rect(40, 0, 50, 10)),
+        "touching-edge": (rect(0, 0, 10, 10), rect(10, 0, 20, 10)),
+        "touching-corner": (rect(0, 0, 10, 10), rect(10, 10, 20, 20)),
+        "one-pixel-overlap": (rect(0, 0, 10, 10), rect(9, 9, 19, 19)),
+    }
+
+
+@pytest.mark.parametrize("method", list(Method))
+@pytest.mark.parametrize("case", sorted(_contact_cases()))
+def test_batched_agrees_with_per_pair_on_contact_cases(method, case):
+    """Regression: ``compute_pairs`` must never raise on disjoint MBRs and
+    must agree bit-for-bit with ``compute_pair`` for every variant."""
+    p, q = _contact_cases()[case]
+    expected = compute_pair(p, q, method)
+    got = compute_pairs([(p, q)], method).pair(0)
+    assert got == expected
+    if "overlap" not in case:
+        assert got.intersection == 0
+        assert got.union == p.area + q.area
+
+
+@pytest.mark.parametrize("name", sorted(set(available_backends())))
+def test_every_backend_handles_contact_cases(name):
+    """The same contact sweep through the registry: bit-for-bit parity."""
+    pairs = list(_contact_cases().values())
+    expected = [compute_pair(p, q) for p, q in pairs]
+    result = get_backend(name).compare_pairs(pairs)
+    for i, exp in enumerate(expected):
+        assert result.pair(i) == exp, name
+
+
+def test_tight_mbr_disjoint_pair_has_full_union():
+    """No start box end-to-end: the tight-MBR policy on disjoint MBRs."""
+    p, q = rect(0, 0, 10, 10), rect(20, 20, 30, 30)
+    cfg = LaunchConfig(tight_mbr=True)
+    assert start_box(p, q, Method.PIXELBOX, cfg) is None
+    res = compute_pairs([(p, q)], Method.PIXELBOX, cfg).pair(0)
+    assert res == compute_pair(p, q, Method.PIXELBOX, cfg)
+    assert res.intersection == 0 and res.union == 200
+
+
+@pytest.mark.parametrize("method", [Method.NOSEP, Method.PIXEL_ONLY])
+def test_finalize_completes_union_for_unrouted_pairs(method):
+    """The drift fix itself: a direct-union pair the kernel never visited
+    gets ``union = |p| + |q|`` instead of tripping the consistency check.
+
+    This is the state the hand-copied batched path would have reached on
+    a no-start-box pair (measured union 0, final check raising
+    ``KernelError`` on valid disjoint input) as soon as a prefiltering
+    policy met a direct-union method; the kernel closes it for every
+    policy, current and future.
+    """
+    kernel = ChunkKernel(engine_policy(method))
+    inter = np.array([0, 3], dtype=np.int64)
+    uni = np.array([0, 9], dtype=np.int64)  # slot 0 never measured
+    a_p = np.array([4, 6], dtype=np.int64)
+    a_q = np.array([5, 6], dtype=np.int64)
+    has_box = np.array([False, True])
+    union = kernel.finalize_union(inter, uni, a_p, a_q, has_box)
+    assert union.tolist() == [9, 9]
+
+
+def test_finalize_requires_measured_union_for_direct_policies():
+    kernel = ChunkKernel(engine_policy(Method.NOSEP))
+    ones = np.ones(1, dtype=np.int64)
+    with pytest.raises(KernelError):
+        kernel.finalize_union(ones * 0, None, ones, ones, np.array([True]))
+
+
+def test_default_workers_rejects_malformed_env(monkeypatch):
+    """The CI parity matrix pins pool width via REPRO_WORKERS; a value
+    that does not parse must fail loudly, never fall back silently."""
+    from repro.backends.multiprocess import default_workers
+
+    monkeypatch.setenv("REPRO_WORKERS", "3")
+    assert default_workers() == 3
+    for bad in ("two", "0", "-2", ""):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(KernelError):
+            default_workers()
+
+
+def test_finalize_still_rejects_inconsistent_measurements():
+    kernel = ChunkKernel(engine_policy(Method.NOSEP))
+    inter = np.array([2], dtype=np.int64)
+    uni = np.array([5], dtype=np.int64)  # should be 4 + 4 - 2 = 6
+    a_p = np.array([4], dtype=np.int64)
+    a_q = np.array([4], dtype=np.int64)
+    with pytest.raises(KernelError):
+        kernel.finalize_union(inter, uni, a_p, a_q, np.array([True]))
+
+
+# ----------------------------------------------------------------------
+# ExecutionPolicy validation
+# ----------------------------------------------------------------------
+class TestExecutionPolicy:
+    def test_auto_union_mode_follows_method(self):
+        assert ExecutionPolicy(method=Method.PIXELBOX).indirect_union
+        assert not ExecutionPolicy(method=Method.NOSEP).indirect_union
+        assert not ExecutionPolicy(method=Method.PIXEL_ONLY).indirect_union
+
+    def test_direct_union_rejected_for_pixelbox(self):
+        with pytest.raises(KernelError):
+            ExecutionPolicy(method=Method.PIXELBOX, union_mode="direct")
+
+    def test_indirect_union_allowed_for_nosep(self):
+        policy = ExecutionPolicy(method=Method.NOSEP, union_mode="indirect")
+        assert policy.indirect_union and not policy.measures_union
+
+    def test_unknown_union_mode_rejected(self):
+        with pytest.raises(KernelError):
+            ExecutionPolicy(union_mode="sideways")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(KernelError):
+            ExecutionPolicy(method="pixelbox")
+
+    def test_bad_chunk_and_skip_bounds_rejected(self):
+        with pytest.raises(KernelError):
+            ExecutionPolicy(chunk_pairs=0)
+        with pytest.raises(KernelError):
+            ExecutionPolicy(skip_subdivision_max_dim=0)
+
+    def test_canned_policies(self):
+        assert engine_policy(Method.NOSEP).skip_subdivision_max_dim is None
+        assert batch_policy().skip_subdivision_max_dim == BATCH_MAX_DIM
+        assert shard_policy().indirect_union
+        assert engine_policy().chunk_pairs == DEFAULT_CHUNK_PAIRS
+
+
+# ----------------------------------------------------------------------
+# Counter parity across every entry point
+# ----------------------------------------------------------------------
+def _per_pair_stats(pairs, method, cfg):
+    stats = KernelStats()
+    for p, q in pairs:
+        compute_pair(p, q, method, cfg, stats)
+    return stats.as_dict()
+
+
+@pytest.mark.parametrize("method", list(Method))
+def test_stats_agree_per_pair_vs_chunked(rng, method):
+    pairs = [random_pair(rng) for _ in range(12)]
+    pairs += [random_pair(rng, h=60, w=70) for _ in range(3)]
+    pairs.append((pairs[0][0], pairs[0][0].translate(400, 400)))
+    cfg = LaunchConfig(block_size=16, pixel_threshold=32)
+    assert _per_pair_stats(pairs, method, cfg) == \
+        compute_pairs(pairs, method, cfg).stats.as_dict()
+
+
+def test_stats_agree_across_all_entry_points(rng):
+    """Same input, same policy -> same counters on every executor.
+
+    The batched path may legitimately differ on pairs in its
+    skip-subdivision band (that *is* its policy), so the workload keeps
+    every pair MBR under both the skip bound and the pixelization
+    threshold where all plans coincide.
+    """
+    pairs = [random_pair(rng) for _ in range(14)]
+    pairs.append((pairs[0][0], pairs[0][0].translate(300, 300)))
+    cfg = LaunchConfig()
+    reference = _per_pair_stats(pairs, Method.PIXELBOX, cfg)
+
+    chunked = compute_pairs(pairs, Method.PIXELBOX, cfg).stats.as_dict()
+    assert chunked == reference
+
+    sharded_1 = get_backend("multiprocess", workers=1) \
+        .compare_pairs(pairs, cfg).stats.as_dict()
+    assert sharded_1 == reference
+
+    sharded_2 = get_backend("multiprocess", workers=2, min_pairs=1) \
+        .compare_pairs(pairs, cfg).stats.as_dict()
+    assert sharded_2 == reference
+
+    batched = compute_batch(pairs, cfg).stats.as_dict()
+    routing = {"batched_pairs", "fallback_pairs"}
+    assert {k: v for k, v in batched.items() if k not in routing} == \
+        {k: v for k, v in reference.items() if k not in routing}
+    # ... and the batch policy reports its routing decisions on top.
+    assert batched["batched_pairs"] + batched["fallback_pairs"] == len(pairs)
+
+
+def test_batch_charges_pops_for_skip_routed_pairs(rng):
+    """Regression: the batched path used to drop the start-box pop of
+    every skip-routed pair, so `pops` disagreed with the other paths."""
+    pairs = [random_pair(rng) for _ in range(8)]
+    cfg = LaunchConfig()
+    res = compute_batch(pairs, cfg)
+    assert res.stats.batched_pairs == len(pairs)
+    assert res.stats.pops == _per_pair_stats(pairs, Method.PIXELBOX, cfg)["pops"]
+
+
+def test_batch_honors_leaf_mode(rng):
+    """Regression: the batched path used to ignore ``leaf_mode`` and
+    always run the XOR-scan; under ``crossing`` it must behave exactly
+    like the engine policy (same results, same counters)."""
+    pairs = [random_pair(rng) for _ in range(8)]
+    cfg = LaunchConfig(leaf_mode="crossing")
+    batched = compute_batch(pairs, cfg)
+    engine = compute_pairs(pairs, Method.PIXELBOX, cfg)
+    assert np.array_equal(batched.intersection, engine.intersection)
+    assert batched.stats.pixel_tests == engine.stats.pixel_tests
+
+
+# ----------------------------------------------------------------------
+# Chunk-boundary invariance
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("chunk_pairs", [1, 3, 7])
+def test_chunk_size_never_changes_results_or_stats(rng, chunk_pairs):
+    pairs = [random_pair(rng) for _ in range(10)]
+    cfg = LaunchConfig()
+    base = ChunkKernel(engine_policy(), cfg).compute(pairs)
+    policy = ExecutionPolicy(method=Method.PIXELBOX, chunk_pairs=chunk_pairs)
+    res = ChunkKernel(policy, cfg).compute(pairs)
+    assert np.array_equal(res.intersection, base.intersection)
+    assert np.array_equal(res.union, base.union)
+    assert res.stats.as_dict() == base.stats.as_dict()
+
+
+def test_shard_boundaries_never_change_results(rng):
+    """run_shard at arbitrary split points reproduces the full compute."""
+    from repro.pixelbox.vectorized import EdgeTable
+
+    pairs = [random_pair(rng) for _ in range(9)]
+    cfg = LaunchConfig()
+    kernel = ChunkKernel(shard_policy(), cfg)
+    base = kernel.compute(pairs)
+
+    a_p, a_q, boxes, has_box = kernel.route_pairs(pairs)
+    table_p = EdgeTable.build([p for p, _ in pairs])
+    table_q = EdgeTable.build([q for _, q in pairs])
+    for split in (1, 4, 8):
+        stats = KernelStats()
+        left, _ = kernel.run_shard(
+            table_p, table_q, boxes, has_box, 0, split, stats
+        )
+        right, _ = kernel.run_shard(
+            table_p, table_q, boxes, has_box, split, len(pairs), stats
+        )
+        inter = np.concatenate([left, right])
+        assert np.array_equal(inter, base.intersection)
+        assert stats.as_dict() == base.stats.as_dict()

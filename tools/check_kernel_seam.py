@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Guard the chunk-kernel seam: one module owns the kernel sequence.
+
+``repro.pixelbox.kernel`` must be the only module invoking
+``plan_levels`` / ``stacked_leaf_counts`` — that is the structural
+guarantee that a fourth hand-rolled copy of the plan+stacked-pixelize
+sequence (the drift class behind the latent batched disjoint-pair
+crash and the counter misalignment) cannot land silently.
+``repro.pixelbox.vectorized`` is allowlisted as the definition site.
+
+Run from the repository root (CI does, and the tier-1 suite wraps it):
+
+    python tools/check_kernel_seam.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SEAM_NAMES = ("plan_levels", "stacked_leaf_counts")
+
+# path (relative to src/) -> why it may name the kernel entry points
+ALLOWLIST = {
+    "repro/pixelbox/kernel.py": "the one caller",
+    "repro/pixelbox/vectorized.py": "the definition site",
+}
+
+_PATTERN = re.compile(r"\b(%s)\b" % "|".join(SEAM_NAMES))
+
+
+def violations(src_root: Path) -> list[tuple[Path, int, str]]:
+    """``(file, line number, line)`` for every out-of-seam mention."""
+    found = []
+    for path in sorted(src_root.rglob("*.py")):
+        rel = path.relative_to(src_root).as_posix()
+        if rel in ALLOWLIST:
+            continue
+        for lineno, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if _PATTERN.search(line):
+                found.append((path, lineno, line.strip()))
+    return found
+
+
+def main() -> int:
+    src_root = Path(__file__).resolve().parent.parent / "src"
+    found = violations(src_root)
+    if not found:
+        print(
+            "kernel seam intact: %s only invoked from %s"
+            % (", ".join(SEAM_NAMES), ", ".join(sorted(ALLOWLIST)))
+        )
+        return 0
+    print("kernel seam violated — route these through ChunkKernel:")
+    for path, lineno, line in found:
+        print(f"  {path}:{lineno}: {line}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
