@@ -19,6 +19,9 @@ seam that makes the claim structural instead of incidental:
   ``multiprocess`` pair shards across worker processes over
                    shared-memory CSR edge tables
   ``auto``         cost-model dispatch (:func:`repro.gpu.cost.recommend_backend`)
+  ``cluster``      shards on remote ``repro worker`` processes over the
+                   binary wire protocol (loopback workers when no hosts
+                   are configured)
   ===============  ====================================================
 
 * consumers — the pipeline aggregator (:class:`repro.pipeline.device.GpuDevice`),
@@ -38,6 +41,7 @@ from __future__ import annotations
 
 from repro.backends.base import (
     Backend,
+    BackendCapabilities,
     BackendLifecycle,
     available_backends,
     backend_registry,
@@ -45,9 +49,11 @@ from repro.backends.base import (
     register,
 )
 
-# Import for registration side effects (each module self-registers).
+# Import for registration side effects (each module self-registers; the
+# cluster coordinator registers through a lazy shim to stay cycle-free).
 from repro.backends import auto as _auto  # noqa: E402,F401
 from repro.backends import batch as _batch  # noqa: E402,F401
+from repro.backends import cluster as _cluster  # noqa: E402,F401
 from repro.backends import multiprocess as _multiprocess  # noqa: E402,F401
 from repro.backends import scalar as _scalar  # noqa: E402,F401
 from repro.backends import simt as _simt  # noqa: E402,F401
@@ -57,6 +63,7 @@ from repro.backends.multiprocess import MultiprocessBackend, default_workers
 
 __all__ = [
     "Backend",
+    "BackendCapabilities",
     "BackendLifecycle",
     "register",
     "get_backend",

@@ -8,7 +8,13 @@ identical — so the worst misprediction costs wall-clock, never results.
 
 from __future__ import annotations
 
-from repro.backends.base import BackendLifecycle, Pairs, get_backend, register
+from repro.backends.base import (
+    BackendCapabilities,
+    BackendLifecycle,
+    Pairs,
+    get_backend,
+    register,
+)
 from repro.gpu.cost import recommend_backend
 from repro.pixelbox.common import LaunchConfig
 from repro.pixelbox.engine import BatchAreas
@@ -55,6 +61,15 @@ class AutoBackend(BackendLifecycle):
         self._delegates: dict[str, object] = {}
         #: Name chosen by the most recent :meth:`compare_pairs` call.
         self.last_choice: str | None = None
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            persistent_pooling=True,
+            stateful_lifecycle=True,
+            configurable_workers=True,
+            max_workers=self.workers,
+            notes="delegates via the cycle cost model (calibratable)",
+        )
 
     def select(self, pairs: Pairs, config: LaunchConfig | None = None) -> str:
         """The concrete backend the cost model picks for ``pairs``."""

@@ -28,6 +28,7 @@ from repro.pixelbox.engine import BatchAreas
 
 __all__ = [
     "Backend",
+    "BackendCapabilities",
     "BackendFactory",
     "BackendLifecycle",
     "register",
@@ -36,6 +37,56 @@ __all__ = [
     "backend_registry",
     "cover_mbr_config",
 ]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BackendCapabilities:
+    """Structured description of how one backend executes.
+
+    Before this existed, callers probed ad-hoc attributes (``warm``,
+    ``persistent``, ``workers``) with ``getattr`` and misconfiguration
+    surfaced deep in dispatch.  Every backend now reports its execution
+    shape here; ``repro backends`` prints it, and owners like the
+    comparison service branch on fields instead of attribute sniffing.
+
+    Attributes
+    ----------
+    persistent_pooling:
+        The backend can hold warm pooled state across calls (worker
+        processes, connections) and exposes ``warm()``.
+    stateful_lifecycle:
+        ``close()`` releases real resources (as opposed to the no-op of
+        a stateless executor).
+    configurable_workers:
+        The factory accepts a ``workers``-style parallelism knob.
+    max_workers:
+        Degree of parallelism this *instance* is configured for (1 for
+        single-process executors).
+    remote:
+        Execution leaves this machine (network transport involved).
+    notes:
+        One-line human hint (requirements, configuration source).
+    """
+
+    persistent_pooling: bool = False
+    stateful_lifecycle: bool = False
+    configurable_workers: bool = False
+    max_workers: int = 1
+    remote: bool = False
+    notes: str = ""
+
+    def summary(self) -> str:
+        """Compact rendering for ``repro backends``."""
+        tags = []
+        if self.persistent_pooling:
+            tags.append("pooling")
+        if self.stateful_lifecycle:
+            tags.append("lifecycle")
+        if self.configurable_workers:
+            tags.append(f"workers<={self.max_workers}")
+        if self.remote:
+            tags.append("remote")
+        return ",".join(tags) if tags else "stateless"
 
 
 def cover_mbr_config(config: LaunchConfig | None) -> LaunchConfig:
@@ -79,6 +130,10 @@ class Backend(Protocol):
         """Release pooled resources (idempotent; backend stays usable)."""
         ...
 
+    def capabilities(self) -> BackendCapabilities:
+        """Structured execution shape (pooling, lifecycle, workers)."""
+        ...
+
 
 class BackendLifecycle:
     """Default backend lifecycle: ``close()`` no-op + context manager.
@@ -94,6 +149,10 @@ class BackendLifecycle:
 
     def close(self) -> None:
         """Release pooled resources; no-op for stateless executors."""
+
+    def capabilities(self) -> BackendCapabilities:
+        """Default capability report: a stateless single-process executor."""
+        return BackendCapabilities()
 
     def __enter__(self):
         return self
@@ -137,7 +196,15 @@ def get_backend(name: str, **kwargs) -> Backend:
         raise KernelError(
             f"unknown backend {name!r} (registered: {known})"
         ) from None
-    return factory(**kwargs)
+    try:
+        return factory(**kwargs)
+    except TypeError as exc:
+        # A wrong knob (e.g. `hosts=` on the batch backend) should name
+        # the backend here, not surface as a bare constructor TypeError
+        # deep in dispatch.
+        raise KernelError(
+            f"backend {name!r} rejected options {sorted(kwargs)}: {exc}"
+        ) from None
 
 
 def available_backends() -> list[str]:

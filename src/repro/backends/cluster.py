@@ -1,0 +1,20 @@
+"""Registry shim for the cluster backend.
+
+The coordinator lives in :mod:`repro.cluster.coordinator`, which itself
+imports :mod:`repro.backends.base` — registering it here through a lazy
+factory keeps the registry import-cycle-free whichever package is
+imported first (``import repro.cluster`` must not require
+``repro.backends`` to be fully initialized, and vice versa).
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import register
+
+
+@register("cluster")
+def cluster_backend(**kwargs):
+    """Factory for :class:`repro.cluster.coordinator.ClusterBackend`."""
+    from repro.cluster.coordinator import ClusterBackend
+
+    return ClusterBackend(**kwargs)

@@ -46,7 +46,12 @@ from multiprocessing import shared_memory
 
 import numpy as np
 
-from repro.backends.base import BackendLifecycle, Pairs, register
+from repro.backends.base import (
+    BackendCapabilities,
+    BackendLifecycle,
+    Pairs,
+    register,
+)
 from repro.errors import KernelError
 from repro.pixelbox.common import KernelStats, LaunchConfig
 from repro.pixelbox.kernel import BatchAreas, ChunkKernel, shard_policy
@@ -272,6 +277,15 @@ class MultiprocessBackend(BackendLifecycle):
         self._pool: ProcessPoolExecutor | None = None
         self._pool_unregister = False
         self._pool_lock = threading.Lock()
+
+    def capabilities(self) -> BackendCapabilities:
+        return BackendCapabilities(
+            persistent_pooling=True,
+            stateful_lifecycle=True,
+            configurable_workers=True,
+            max_workers=self.workers,
+            notes="shared-memory pair shards; REPRO_WORKERS sets the default",
+        )
 
     # ------------------------------------------------------------------
     # Warm-pool lifecycle

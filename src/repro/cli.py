@@ -7,8 +7,10 @@ Subcommands::
     repro run fig7 [--full]
     repro run-all [--full]
     repro generate-suite [--scale 0.02] [--root DIR]
-    repro compare DIR_A DIR_B [--no-migration] [--backend NAME]
+    repro compare DIR_A DIR_B [--no-migration] [--backend NAME] [--hosts ...]
     repro serve [--backend NAME] [--port N | --stdio] [--max-queue N]
+    repro worker [--host H] [--port N] [--max-tables N]
+    repro calibrate [--output FILE] [--quick]
 """
 
 from __future__ import annotations
@@ -66,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
             "'auto' picks by cost model)"
         ),
     )
+    cmp_.add_argument(
+        "--hosts",
+        default=None,
+        help=(
+            "comma-separated worker addresses for --backend cluster "
+            "(host:port,...); default REPRO_CLUSTER_HOSTS or local "
+            "loopback workers"
+        ),
+    )
 
     srv = sub.add_parser(
         "serve",
@@ -105,6 +116,41 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None,
         help="default per-request timeout in seconds",
     )
+    srv.add_argument(
+        "--hosts",
+        default=None,
+        help=(
+            "worker addresses for --backend cluster (host:port,...); "
+            "default REPRO_CLUSTER_HOSTS or local loopback workers"
+        ),
+    )
+
+    wrk = sub.add_parser(
+        "worker",
+        help="serve ChunkKernel.run_shard shards to a cluster coordinator",
+    )
+    wrk.add_argument("--host", default="127.0.0.1")
+    wrk.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (0 binds an ephemeral port, announced on stdout)",
+    )
+    wrk.add_argument(
+        "--max-tables", type=int, default=8,
+        help="LRU bound on resident content-addressed table bundles",
+    )
+
+    cal = sub.add_parser(
+        "calibrate",
+        help="fit cost-model constants from timed runs into a JSON profile",
+    )
+    cal.add_argument(
+        "--output", type=Path, default=Path("benchmarks/reports/cost_profile.json"),
+        help="profile path (point REPRO_COST_PROFILE here to activate it)",
+    )
+    cal.add_argument(
+        "--quick", action="store_true",
+        help="smaller calibration workload (noisier constants, faster)",
+    )
     return parser
 
 
@@ -123,7 +169,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.backends import available_backends, get_backend
 
         for name in available_backends():
-            print(f"{name:14s} {get_backend(name).description}")
+            backend = get_backend(name)
+            caps = backend.capabilities()
+            print(f"{name:14s} [{caps.summary():24s}] {backend.description}")
+            if caps.notes:
+                print(f"{'':14s} {'':26s} {caps.notes}")
         return 0
 
     if args.command == "run":
@@ -152,9 +202,19 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "compare":
+        import os
+
         from repro.api import cross_compare_files
         from repro.pipeline.engine import PipelineOptions, run_pipelined
         from repro.pipeline.migration import MigrationConfig
+
+        if args.hosts is not None:
+            from repro.cluster import parse_hosts
+
+            parse_hosts(args.hosts)  # fail fast on malformed addresses
+            # The pipeline resolves backends by registry name; the
+            # cluster factory reads its host list from the environment.
+            os.environ["REPRO_CLUSTER_HOSTS"] = args.hosts
 
         if args.no_migration:
             outcome = run_pipelined(
@@ -187,6 +247,8 @@ def main(argv: list[str] | None = None) -> int:
         options = {}
         if args.workers is not None:
             options["workers"] = args.workers
+        if args.hosts is not None:
+            options["hosts"] = args.hosts
         config = ServiceConfig(
             backend=args.backend,
             backend_options=options,
@@ -201,6 +263,30 @@ def main(argv: list[str] | None = None) -> int:
             )
         except KeyboardInterrupt:  # pragma: no cover - interactive exit
             pass
+        return 0
+
+    if args.command == "worker":
+        from repro.cluster import ShardWorker
+
+        worker = ShardWorker(
+            host=args.host, port=args.port, max_tables=args.max_tables
+        )
+        worker._bind()
+        host, port = worker.address
+        print(f"repro-worker ready {host} {port}", flush=True)
+        try:
+            worker.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive exit
+            worker.stop()
+        return 0
+
+    if args.command == "calibrate":
+        from repro.gpu.calibrate import run_calibration, write_profile
+
+        profile = run_calibration(quick=args.quick)
+        write_profile(profile, args.output)
+        print(f"cost profile -> {args.output}")
+        print(f"  export REPRO_COST_PROFILE={args.output}")
         return 0
 
     return 2  # pragma: no cover - argparse enforces the subcommands

@@ -1,0 +1,257 @@
+"""Length-prefixed binary wire protocol of the shard cluster.
+
+The service front-end speaks JSON lines because humans and foreign
+clients do; between the coordinator and its shard workers the traffic is
+CSR edge tables and int64 area vectors, so the cluster speaks binary:
+
+``frame := magic "RC" | version u8 | msgtype u8 | payload_len u32 | payload``
+``payload := header_len u32 | header (UTF-8 JSON) | blob_0 | blob_1 | ...``
+
+The JSON header carries the small structured fields (digests, shard
+bounds, launch config, stats) plus a manifest describing each binary
+blob — ``[name, dtype, shape, nbytes]`` in transmission order — so NumPy
+arrays travel as raw bytes with zero re-encoding on either side.
+
+Every read is defensive: a bad magic, an unknown version, an oversized
+frame, a manifest that disagrees with the payload length — each raises
+:class:`~repro.errors.ClusterProtocolError` instead of desynchronizing
+the stream, so garbage from a confused client is classified as a clean
+client error and the peer survives.
+
+Table payloads are **content-addressed**: :func:`bundle_digest` hashes
+the dtype/shape/bytes of every array, and that digest is the cache key
+on the worker side — the reason the coordinator can ship the CSR tables
+once per worker per table version instead of once per shard dispatch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ClusterProtocolError
+
+__all__ = [
+    "MsgType",
+    "MAX_FRAME_BYTES",
+    "bundle_digest",
+    "pack_frame",
+    "unpack_payload",
+    "send_frame",
+    "recv_frame",
+    "config_to_wire",
+    "config_from_wire",
+]
+
+_MAGIC = b"RC"
+_VERSION = 1
+_HEADER_STRUCT = struct.Struct(">2sBBI")
+
+# One frame carries at most this many payload bytes (a whole-slide tile
+# pair's tables are a few MB; a GiB means a corrupt length field).
+MAX_FRAME_BYTES = 1 << 30
+
+
+class MsgType:
+    """Frame type tags (u8 on the wire)."""
+
+    HELLO = 1
+    HELLO_ACK = 2
+    PUT_TABLES = 3
+    TABLES_ACK = 4
+    HAS_TABLES = 5
+    RUN_SHARD = 6
+    SHARD_RESULT = 7
+    PING = 8
+    PONG = 9
+    STATS = 10
+    STATS_REPLY = 11
+    SHUTDOWN = 12
+    ERROR = 13
+
+    ALL = frozenset(range(1, 14))
+
+
+# ----------------------------------------------------------------------
+# Content addressing
+# ----------------------------------------------------------------------
+def bundle_digest(arrays: dict[str, np.ndarray]) -> str:
+    """Content hash of an array bundle (the worker-side cache key).
+
+    Covers names, dtypes, shapes, and raw bytes, so two requests with
+    identical tables share one cache entry and any difference — even a
+    config-induced start-box change — yields a new table version.
+    """
+    h = hashlib.sha256(b"repro-cluster-v1")
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(arr.dtype.str.encode())
+        h.update(repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def pack_frame(
+    msgtype: int,
+    header: dict[str, Any] | None = None,
+    arrays: dict[str, np.ndarray] | None = None,
+) -> bytes:
+    """One complete wire frame for ``header`` + ``arrays``."""
+    header = dict(header or {})
+    blobs: list[bytes] = []
+    manifest: list[list] = []
+    for name, arr in (arrays or {}).items():
+        arr = np.ascontiguousarray(arr)
+        raw = arr.tobytes()
+        manifest.append([name, arr.dtype.str, list(arr.shape), len(raw)])
+        blobs.append(raw)
+    header["arrays"] = manifest
+    head = json.dumps(header, separators=(",", ":")).encode()
+    payload = struct.pack(">I", len(head)) + head + b"".join(blobs)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ClusterProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return (
+        _HEADER_STRUCT.pack(_MAGIC, _VERSION, msgtype, len(payload)) + payload
+    )
+
+
+def unpack_payload(payload: bytes) -> tuple[dict[str, Any], dict[str, np.ndarray]]:
+    """Decode one frame payload into ``(header, arrays)``."""
+    if len(payload) < 4:
+        raise ClusterProtocolError("truncated frame payload")
+    (head_len,) = struct.unpack_from(">I", payload)
+    if 4 + head_len > len(payload):
+        raise ClusterProtocolError("frame header overruns payload")
+    try:
+        header = json.loads(payload[4 : 4 + head_len])
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ClusterProtocolError(f"unparseable frame header: {exc}") from None
+    if not isinstance(header, dict):
+        raise ClusterProtocolError("frame header must be a JSON object")
+    manifest = header.pop("arrays", [])
+    if not isinstance(manifest, list):
+        raise ClusterProtocolError("frame manifest must be a list")
+    arrays: dict[str, np.ndarray] = {}
+    offset = 4 + head_len
+    for entry in manifest:
+        try:
+            name, dtype, shape, nbytes = entry
+            shape = tuple(int(s) for s in shape)
+            nbytes = int(nbytes)
+        except (TypeError, ValueError) as exc:
+            raise ClusterProtocolError(
+                f"malformed manifest entry {entry!r}: {exc}"
+            ) from None
+        if nbytes < 0 or offset + nbytes > len(payload):
+            raise ClusterProtocolError("manifest blob overruns payload")
+        try:
+            dt = np.dtype(dtype)
+            count = int(np.prod(shape, dtype=np.int64))
+            if dt.hasobject or dt.itemsize * count != nbytes:
+                raise ValueError(
+                    f"dtype/shape disagree with {nbytes} blob bytes"
+                )
+            arrays[name] = (
+                np.frombuffer(payload, dtype=dt, count=count, offset=offset)
+                .reshape(shape)
+                .copy()
+            )
+        except (TypeError, ValueError) as exc:
+            raise ClusterProtocolError(
+                f"undecodable blob {name!r}: {exc}"
+            ) from None
+        offset += nbytes
+    return header, arrays
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ``ConnectionError`` on EOF."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(
+    sock: socket.socket,
+    msgtype: int,
+    header: dict[str, Any] | None = None,
+    arrays: dict[str, np.ndarray] | None = None,
+) -> int:
+    """Serialize and send one frame; returns the bytes transmitted."""
+    frame = pack_frame(msgtype, header, arrays)
+    sock.sendall(frame)
+    return len(frame)
+
+
+def recv_frame(
+    sock: socket.socket,
+) -> tuple[int, dict[str, Any], dict[str, np.ndarray]]:
+    """Read one frame; returns ``(msgtype, header, arrays)``.
+
+    Raises :class:`ClusterProtocolError` for anything that is not a
+    well-formed frame and ``ConnectionError`` when the peer goes away.
+    """
+    head = _recv_exact(sock, _HEADER_STRUCT.size)
+    magic, version, msgtype, length = _HEADER_STRUCT.unpack(head)
+    if magic != _MAGIC:
+        raise ClusterProtocolError(
+            f"bad frame magic {magic!r} (not a repro-cluster peer?)"
+        )
+    if version != _VERSION:
+        raise ClusterProtocolError(
+            f"unsupported protocol version {version} (speaking {_VERSION})"
+        )
+    if msgtype not in MsgType.ALL:
+        raise ClusterProtocolError(f"unknown message type {msgtype}")
+    if length > MAX_FRAME_BYTES:
+        raise ClusterProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    header, arrays = unpack_payload(_recv_exact(sock, length))
+    return msgtype, header, arrays
+
+
+# ----------------------------------------------------------------------
+# Launch-config transport
+# ----------------------------------------------------------------------
+_CONFIG_FIELDS = ("block_size", "pixel_threshold", "tight_mbr", "leaf_mode")
+
+
+def config_to_wire(config) -> dict[str, Any]:
+    """``LaunchConfig`` -> JSON-safe dict for the RUN_SHARD header."""
+    return {f: getattr(config, f) for f in _CONFIG_FIELDS}
+
+
+def config_from_wire(raw: dict[str, Any] | None):
+    """RUN_SHARD header dict -> ``LaunchConfig`` (validated)."""
+    from repro.errors import ReproError
+    from repro.pixelbox.common import LaunchConfig
+
+    if raw is None:
+        return LaunchConfig()
+    if not isinstance(raw, dict) or set(raw) - set(_CONFIG_FIELDS):
+        raise ClusterProtocolError(f"bad launch config on the wire: {raw!r}")
+    try:
+        return LaunchConfig(**raw)
+    except (ReproError, TypeError) as exc:
+        raise ClusterProtocolError(
+            f"bad launch config on the wire: {exc}"
+        ) from None

@@ -80,6 +80,18 @@ class ServiceClosedError(ServiceError):
     """A request was submitted to a service that is shutting down."""
 
 
+class ClusterError(ReproError):
+    """Distributed shard-cluster failure (transport, scheduling, workers)."""
+
+
+class ClusterConfigError(ClusterError):
+    """Invalid cluster configuration (malformed host list, bad options)."""
+
+
+class ClusterProtocolError(ClusterError):
+    """Malformed or out-of-contract frame on the cluster wire protocol."""
+
+
 class DatasetError(ReproError):
     """Synthetic dataset specification or generation failure."""
 

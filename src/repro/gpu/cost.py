@@ -10,8 +10,13 @@ unrolling), and block-wide synchronization.  Absolute cycle counts are
 
 from __future__ import annotations
 
+import json
+import math
+import os
 from dataclasses import dataclass
+from pathlib import Path
 
+from repro.errors import DeviceError
 from repro.gpu.device import DeviceSpec
 from repro.gpu.memory import (
     aos_push_addresses,
@@ -23,10 +28,16 @@ from repro.gpu.memory import (
 __all__ = [
     "OptimizationFlags",
     "CostModel",
+    "CostCalibration",
     "CycleBreakdown",
     "estimate_comparison_cycles",
     "recommend_backend",
     "recommend_batch_pairs",
+    "recommend_shard_pairs",
+    "load_calibration",
+    "set_calibration",
+    "active_calibration",
+    "clear_calibration",
 ]
 
 # ALU cycles per edge test in the pixel/box position loops (compare +
@@ -171,6 +182,103 @@ class CostModel:
 
 
 # ----------------------------------------------------------------------
+# Calibration: measured constants override the modeled defaults
+# ----------------------------------------------------------------------
+# The spin-up and dispatch charges below are *modeled*; on a real host
+# ``tools/calibrate_cost.py`` (or ``repro calibrate``) fits them from the
+# backend-scaling and service-throughput trajectories and writes a JSON
+# profile.  When a profile is active the recommenders use its constants;
+# when absent they fall back to the modeled values, so calibration is an
+# accuracy upgrade, never a dependency.
+
+
+@dataclass(frozen=True, slots=True)
+class CostCalibration:
+    """Measured cost constants fitted by ``repro calibrate``.
+
+    Attributes
+    ----------
+    cycles_per_second:
+        How many modeled ALU cycles this host retires per wall second on
+        the vectorized engine — the bridge between measured seconds and
+        every modeled charge in this module.
+    process_spinup_cycles:
+        Measured worker-process spin-up, in modeled cycles.
+    shard_dispatch_cycles:
+        Measured per-shard remote dispatch overhead (serialize + RTT +
+        scheduling), in modeled cycles.
+    source:
+        Provenance note (host, date) carried from the profile.
+    """
+
+    cycles_per_second: float
+    process_spinup_cycles: float
+    shard_dispatch_cycles: float
+    source: str = "calibrated"
+
+    def as_dict(self) -> dict:
+        return {
+            "cycles_per_second": self.cycles_per_second,
+            "process_spinup_cycles": self.process_spinup_cycles,
+            "shard_dispatch_cycles": self.shard_dispatch_cycles,
+            "source": self.source,
+        }
+
+
+def load_calibration(path: str | Path) -> CostCalibration:
+    """Read a calibration profile written by ``tools/calibrate_cost.py``."""
+    try:
+        raw = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise DeviceError(f"unreadable cost profile {path}: {exc}") from None
+    try:
+        cal = CostCalibration(
+            cycles_per_second=float(raw["cycles_per_second"]),
+            process_spinup_cycles=float(raw["process_spinup_cycles"]),
+            shard_dispatch_cycles=float(raw["shard_dispatch_cycles"]),
+            source=str(raw.get("source", str(path))),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DeviceError(f"malformed cost profile {path}: {exc}") from None
+    if min(
+        cal.cycles_per_second,
+        cal.process_spinup_cycles,
+        cal.shard_dispatch_cycles,
+    ) <= 0:
+        raise DeviceError(f"cost profile {path} has non-positive constants")
+    return cal
+
+
+_UNLOADED = object()
+_active_calibration: object = _UNLOADED
+
+
+def active_calibration() -> CostCalibration | None:
+    """The process-wide calibration profile, if any.
+
+    Resolved once from the ``REPRO_COST_PROFILE`` environment variable
+    (a profile path); ``None`` means the modeled constants apply.
+    """
+    global _active_calibration
+    if _active_calibration is _UNLOADED:
+        path = os.environ.get("REPRO_COST_PROFILE")
+        _active_calibration = load_calibration(path) if path else None
+    return _active_calibration  # type: ignore[return-value]
+
+
+def set_calibration(calibration: CostCalibration | None) -> None:
+    """Install (or with ``None`` disable) the process-wide profile."""
+    global _active_calibration
+    _active_calibration = calibration
+
+
+def clear_calibration() -> None:
+    """Forget the cached profile; the next use re-reads the environment."""
+    global _active_calibration
+    _active_calibration = _UNLOADED
+
+
+# ----------------------------------------------------------------------
 # Workload-level cost estimation (execution-backend selection)
 # ----------------------------------------------------------------------
 # A forked worker process costs roughly this many modeled ALU cycles to
@@ -231,6 +339,7 @@ def recommend_backend(
     pixel_threshold: int,
     block_size: int = 64,
     workers: int = 1,
+    calibration: CostCalibration | None = None,
 ) -> str:
     """Backend choice for a workload profile (pair count + edge density).
 
@@ -242,14 +351,16 @@ def recommend_backend(
       threshold, where the batch path's skip-subdivision policy never
       applies) -> ``"vectorized"``;
     * everything else -> ``"batch"``, the production default.
+
+    ``calibration`` (default: :func:`active_calibration`) replaces the
+    modeled spin-up charge with this host's measured one.
     """
+    cal = calibration if calibration is not None else active_calibration()
+    spinup = cal.process_spinup_cycles if cal else _PROCESS_SPINUP_CYCLES
     cycles = estimate_comparison_cycles(
         n_pairs, mean_edges, mean_mbr_pixels, pixel_threshold, block_size
     )
-    if (
-        workers > 1
-        and cycles > _PROCESS_SPINUP_CYCLES * _SPINUP_AMORTIZATION * workers
-    ):
+    if workers > 1 and cycles > spinup * _SPINUP_AMORTIZATION * workers:
         return "multiprocess"
     if mean_mbr_pixels > 4 * pixel_threshold:
         return "vectorized"
@@ -274,7 +385,8 @@ def recommend_batch_pairs(
     mean_mbr_pixels: float,
     pixel_threshold: int,
     block_size: int = 64,
-    cycle_budget: float = _DISPATCH_CYCLE_BUDGET,
+    cycle_budget: float | None = None,
+    calibration: CostCalibration | None = None,
 ) -> int:
     """Pair budget for one coalesced dispatch of the comparison service.
 
@@ -284,7 +396,15 @@ def recommend_batch_pairs(
     with.  Dense workloads (many edges, large MBRs) get small merged
     batches — each pair is expensive, so latency-bounding the dispatch
     matters; sparse workloads coalesce aggressively.
+
+    The default budget is a few times the worker spin-up charge (the
+    calibrated one when a profile is active), keeping pooled workers
+    well amortized per dispatch.
     """
+    if cycle_budget is None:
+        cal = calibration if calibration is not None else active_calibration()
+        spinup = cal.process_spinup_cycles if cal else _PROCESS_SPINUP_CYCLES
+        cycle_budget = 4.0 * spinup
     per_pair = estimate_comparison_cycles(
         1, mean_edges, mean_mbr_pixels, pixel_threshold, block_size
     )
@@ -292,3 +412,50 @@ def recommend_batch_pairs(
         return _MAX_DISPATCH_PAIRS
     budget = int(cycle_budget / per_pair)
     return max(_MIN_DISPATCH_PAIRS, min(_MAX_DISPATCH_PAIRS, budget))
+
+
+# ----------------------------------------------------------------------
+# Remote shard sizing (cluster coordinator)
+# ----------------------------------------------------------------------
+# One remote shard dispatch costs roughly this many modeled cycles
+# (RUN_SHARD/SHARD_RESULT round trip + scheduling) once the tables are
+# resident on the worker; a shard must amortize it well before remote
+# sharding beats keeping the pairs local.
+_SHARD_DISPATCH_CYCLES = 2.0e7
+_SHARD_AMORTIZATION = 8.0
+# The coordinator over-partitions each request so stragglers can be
+# speculated and a dead worker's loss stays small — but not so finely
+# that dispatch overhead dominates.
+_SHARDS_PER_WORKER = 4
+
+
+def recommend_shard_pairs(
+    n_pairs: int,
+    mean_edges: float,
+    mean_mbr_pixels: float,
+    pixel_threshold: int,
+    block_size: int = 64,
+    workers: int = 1,
+    calibration: CostCalibration | None = None,
+) -> int:
+    """Pairs per remote shard for one cluster dispatch.
+
+    Balances two pressures: each shard's modeled compute should exceed
+    the per-shard dispatch charge by ``_SHARD_AMORTIZATION``x (transport
+    must stay a rounding error), while the request should still split
+    into about ``_SHARDS_PER_WORKER`` shards per worker so the scheduler
+    has slack for speculation and re-dispatch.
+    """
+    if n_pairs <= 0:
+        return 1
+    cal = calibration if calibration is not None else active_calibration()
+    dispatch = cal.shard_dispatch_cycles if cal else _SHARD_DISPATCH_CYCLES
+    per_pair = estimate_comparison_cycles(
+        1, mean_edges, mean_mbr_pixels, pixel_threshold, block_size
+    )
+    if per_pair <= 0:
+        floor = n_pairs
+    else:
+        floor = max(1, math.ceil(dispatch * _SHARD_AMORTIZATION / per_pair))
+    target = max(1, math.ceil(n_pairs / (max(1, workers) * _SHARDS_PER_WORKER)))
+    return min(n_pairs, max(floor, target))

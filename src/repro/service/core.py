@@ -47,6 +47,8 @@ from repro.backends import get_backend
 from repro.backends.auto import profile_pairs
 from repro.backends.base import Backend, Pairs
 from repro.errors import (
+    KernelError,
+    ReproError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
@@ -197,7 +199,7 @@ class ComparisonService:
                 options.setdefault("persistent", True)
             try:
                 self._backend = get_backend(self.config.backend, **options)
-            except TypeError as exc:
+            except (TypeError, KernelError) as exc:
                 # e.g. `repro serve --backend batch --workers 4`: the
                 # batch factory takes no options.  Fail with the real
                 # story, not a bare constructor TypeError.
@@ -208,11 +210,24 @@ class ComparisonService:
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-service"
         )
-        warm = getattr(self._backend, "warm", None)
-        if callable(warm):
-            # Pre-spawn pooled workers off-loop: the first request must
-            # not pay the fork/spawn cost the warm pool exists to avoid.
-            await loop.run_in_executor(self._executor, warm)
+        caps = getattr(self._backend, "capabilities", None)
+        if callable(caps) and caps().persistent_pooling:
+            # Pre-spawn pooled state off-loop — worker processes for the
+            # multiprocess backend, worker connections (and the HELLO
+            # handshake) for the cluster — so the first request does not
+            # pay the cost the warm pool exists to avoid.  A cluster
+            # with no reachable workers must fail here, at startup, not
+            # on the first request.
+            warm = getattr(self._backend, "warm", None)
+            if callable(warm):
+                try:
+                    await loop.run_in_executor(self._executor, warm)
+                except ReproError as exc:
+                    await self.close(drain=False)
+                    raise ServiceError(
+                        f"backend {self.config.backend!r} failed to warm: "
+                        f"{exc}"
+                    ) from exc
         self._queue = asyncio.Queue(maxsize=self.config.max_queue)
         self._dispatcher = loop.create_task(self._dispatch_loop())
         return self

@@ -47,7 +47,8 @@ def random_pair(rng, h: int = 12, w: int = 14, density: float = 0.5):
     return one(), one()
 
 EXPECTED_BACKENDS = {
-    "auto", "batch", "multiprocess", "scalar", "simt", "vectorized",
+    "auto", "batch", "cluster", "multiprocess", "scalar", "simt",
+    "vectorized",
 }
 
 
@@ -113,13 +114,28 @@ def test_registry_has_expected_backends():
 
 
 @pytest.mark.parametrize("name", sorted(backend_registry()))
+def test_backend_reports_structured_capabilities(name):
+    """Every backend reports BackendCapabilities — the registry contract
+    replacing ad-hoc attribute sniffing (pooling owners branch on it)."""
+    from repro.backends import BackendCapabilities
+
+    caps = get_backend(name).capabilities()
+    assert isinstance(caps, BackendCapabilities)
+    assert caps.max_workers >= 1
+    assert isinstance(caps.summary(), str) and caps.summary()
+    if name in ("multiprocess", "auto", "cluster"):
+        assert caps.persistent_pooling
+
+
+@pytest.mark.parametrize("name", sorted(backend_registry()))
 @pytest.mark.parametrize("kind", ["small", "medium", "tile"])
 def test_backend_matches_exact_reference(name, kind, workloads):
     """Every registered backend is bit-for-bit the exact overlay."""
     if name == "simt" and kind == "tile":
         pytest.skip("pure-Python replay at tile scale belongs to tier 2")
     pairs, ref_inter, ref_union = workloads[kind]
-    result = get_backend(name).compare_pairs(pairs)
+    with get_backend(name) as backend:  # close pooled/remote resources
+        result = backend.compare_pairs(pairs)
     assert len(result) == len(pairs)
     assert np.array_equal(result.intersection, ref_inter)
     assert np.array_equal(result.union, ref_union)
@@ -151,7 +167,8 @@ def test_backends_agree_under_nondefault_config(workloads):
     pairs, ref_inter, ref_union = workloads["small"]
     cfg = LaunchConfig(block_size=16, pixel_threshold=64)
     for name in available_backends():
-        result = get_backend(name).compare_pairs(pairs, cfg)
+        with get_backend(name) as backend:
+            result = backend.compare_pairs(pairs, cfg)
         assert np.array_equal(result.intersection, ref_inter), name
         assert np.array_equal(result.union, ref_union), name
 
@@ -195,7 +212,8 @@ def test_backend_survives_degenerate_inputs(name, scenario):
     """Empty lists, all-disjoint batches, tight MBRs, threshold=1: the
     sweep runs through the registry so every future backend inherits it."""
     pairs, cfg = _degenerate_scenarios()[scenario]
-    result = get_backend(name).compare_pairs(pairs, cfg)
+    with get_backend(name) as backend:
+        result = backend.compare_pairs(pairs, cfg)
     assert len(result) == len(pairs)
     ref_inter = np.array(
         [boolean.intersection(p, q).area for p, q in pairs], dtype=np.int64

@@ -1,0 +1,150 @@
+"""Cost-model calibration: profile fitting, loading, and fallback.
+
+The contract under test: ``repro calibrate`` fits measured constants
+into a JSON profile; the recommenders use an active profile's constants
+and silently keep the modeled defaults when none is configured — a bad
+profile path or malformed file is a loud :class:`DeviceError`, never a
+silent fallback.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu import cost
+from repro.gpu.calibrate import run_calibration, write_profile
+
+
+@pytest.fixture(autouse=True)
+def _isolated_calibration():
+    """No test leaks an active profile into the rest of the suite."""
+    cost.clear_calibration()
+    yield
+    cost.clear_calibration()
+
+
+def test_calibration_roundtrip(tmp_path):
+    profile = cost.CostCalibration(
+        cycles_per_second=1e9,
+        process_spinup_cycles=5e7,
+        shard_dispatch_cycles=1e6,
+        source="unit-test",
+    )
+    path = write_profile(profile, tmp_path / "profile.json")
+    loaded = cost.load_calibration(path)
+    assert loaded == profile
+
+
+@pytest.mark.parametrize(
+    "raw",
+    [
+        "not json",
+        json.dumps({"cycles_per_second": 1e9}),  # missing keys
+        json.dumps(
+            {
+                "cycles_per_second": 0,  # non-positive
+                "process_spinup_cycles": 1,
+                "shard_dispatch_cycles": 1,
+            }
+        ),
+        json.dumps(
+            {
+                "cycles_per_second": "fast",
+                "process_spinup_cycles": 1,
+                "shard_dispatch_cycles": 1,
+            }
+        ),
+    ],
+)
+def test_malformed_profile_is_loud(tmp_path, raw):
+    path = tmp_path / "bad.json"
+    path.write_text(raw)
+    with pytest.raises(DeviceError):
+        cost.load_calibration(path)
+
+
+def test_missing_profile_path_is_loud(tmp_path):
+    with pytest.raises(DeviceError):
+        cost.load_calibration(tmp_path / "nope.json")
+
+
+def test_env_var_activates_profile(tmp_path, monkeypatch):
+    profile = cost.CostCalibration(
+        cycles_per_second=2e9,
+        process_spinup_cycles=7e7,
+        shard_dispatch_cycles=3e6,
+    )
+    path = write_profile(profile, tmp_path / "profile.json")
+    monkeypatch.setenv("REPRO_COST_PROFILE", str(path))
+    cost.clear_calibration()
+    assert cost.active_calibration() == profile
+    monkeypatch.delenv("REPRO_COST_PROFILE")
+    cost.clear_calibration()
+    assert cost.active_calibration() is None
+
+
+def test_recommenders_use_calibrated_constants():
+    # A huge measured spin-up cost must push the recommendation away
+    # from the multiprocess backend on a workload the modeled constants
+    # would shard; calibration is wired in, not decorative.
+    workload = dict(
+        n_pairs=2_000_000, mean_edges=40.0, mean_mbr_pixels=900.0,
+        pixel_threshold=2048, workers=4,
+    )
+    assert cost.recommend_backend(**workload) == "multiprocess"
+    expensive_forks = cost.CostCalibration(
+        cycles_per_second=1e9,
+        process_spinup_cycles=1e15,
+        shard_dispatch_cycles=1e6,
+    )
+    assert (
+        cost.recommend_backend(**workload, calibration=expensive_forks)
+        != "multiprocess"
+    )
+
+    # Shard sizing: a costlier measured dispatch demands bigger shards.
+    small = cost.recommend_shard_pairs(
+        10_000, 40.0, 900.0, 2048, workers=2,
+        calibration=cost.CostCalibration(1e9, 1e8, 1e6),
+    )
+    large = cost.recommend_shard_pairs(
+        10_000, 40.0, 900.0, 2048, workers=2,
+        calibration=cost.CostCalibration(1e9, 1e8, 1e9),
+    )
+    assert large > small
+
+    # Batch budget: dearer spin-up -> bigger coalesced dispatches.
+    lean = cost.recommend_batch_pairs(
+        40.0, 900.0, 2048,
+        calibration=cost.CostCalibration(1e9, 1e8, 1e6),
+    )
+    rich = cost.recommend_batch_pairs(
+        40.0, 900.0, 2048,
+        calibration=cost.CostCalibration(1e9, 1e11, 1e6),
+    )
+    assert rich >= lean
+
+
+def test_shard_pairs_bounds():
+    assert cost.recommend_shard_pairs(0, 1.0, 1.0, 64) == 1
+    n = 1000
+    size = cost.recommend_shard_pairs(n, 40.0, 900.0, 2048, workers=4)
+    assert 1 <= size <= n
+
+
+@pytest.mark.slow
+def test_quick_calibration_produces_a_usable_profile(tmp_path):
+    """End-to-end: measure on this host, write, load, recommend."""
+    profile = run_calibration(quick=True)
+    assert profile.cycles_per_second > 0
+    assert profile.process_spinup_cycles > 0
+    assert profile.shard_dispatch_cycles > 0
+    path = write_profile(profile, tmp_path / "cost_profile.json")
+    loaded = cost.load_calibration(path)
+    choice = cost.recommend_backend(
+        5000, 40.0, 900.0, 2048, workers=2, calibration=loaded
+    )
+    assert choice in ("batch", "vectorized", "multiprocess")

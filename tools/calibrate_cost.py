@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Fit cost-model constants from timed runs into a JSON profile.
+
+Thin command-line wrapper over :mod:`repro.gpu.calibrate` (also
+reachable as ``repro calibrate``).  The profile captures what the
+backend-scaling and service-throughput benchmark trajectories measure —
+cycles per wall second, worker spin-up, remote shard dispatch — so
+``recommend_backend`` / ``recommend_batch_pairs`` /
+``recommend_shard_pairs`` can weigh modeled compute against *this
+host's* overheads:
+
+    PYTHONPATH=src python tools/calibrate_cost.py --quick
+    export REPRO_COST_PROFILE=benchmarks/reports/cost_profile.json
+
+Without the environment variable every recommender keeps the modeled
+constants; a variable pointing at a missing or malformed profile is a
+loud ``DeviceError`` (never a silent fallback to stale policy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.gpu.calibrate import run_calibration, write_profile  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("benchmarks/reports/cost_profile.json"),
+        help="where to write the profile",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller workload (noisier constants, much faster)",
+    )
+    args = parser.parse_args(argv)
+    profile = run_calibration(quick=args.quick)
+    path = write_profile(profile, args.output)
+    for key, value in profile.as_dict().items():
+        print(f"{key:24s} {value}")
+    print(f"cost profile -> {path}")
+    print(f"  export REPRO_COST_PROFILE={path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
