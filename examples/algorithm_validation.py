@@ -12,10 +12,9 @@ Run:  python examples/algorithm_validation.py
 import tempfile
 from pathlib import Path
 
+from repro import CompareOptions, Session
 from repro.data import DatasetSpec, PerturbModel, generate_dataset
 from repro.io import pair_result_sets, read_polygons
-from repro.metrics import jaccard_pairwise
-from repro.pipeline import GpuDevice, MigrationConfig, PipelineOptions, run_pipelined
 
 
 def main() -> None:
@@ -29,25 +28,22 @@ def main() -> None:
     dir_a, dir_b = generate_dataset(spec, workdir, perturb=model)
     print(f"dataset: {spec.tiles} tiles under {workdir}")
 
-    # Per-tile report (what the sensitivity study reads).
-    print(f"\n{'tile':>4}  {'J-prime':>8}  {'pairs':>5}  "
-          f"{'missing A':>9}  {'missing B':>9}")
-    for pair in pair_result_sets(dir_a, dir_b):
-        tile_a = read_polygons(pair.file_a)
-        tile_b = read_polygons(pair.file_b)
-        pw = jaccard_pairwise(tile_a, tile_b)
-        print(f"{pair.tile_id:>4}  {pw.mean_ratio:>8.4f}  "
-              f"{pw.intersecting_pairs:>5}  {pw.missing_a:>9}  "
-              f"{pw.missing_b:>9}")
+    # One warm session serves the per-tile breakdown and the image-level
+    # pipeline run alike; migration is one option, not a config object.
+    with Session(CompareOptions(migration=True)) as session:
+        # Per-tile report (what the sensitivity study reads).
+        print(f"\n{'tile':>4}  {'J-prime':>8}  {'pairs':>5}  "
+              f"{'missing A':>9}  {'missing B':>9}")
+        for pair in pair_result_sets(dir_a, dir_b):
+            tile_a = read_polygons(pair.file_a)
+            tile_b = read_polygons(pair.file_b)
+            tile = session.compare_sets(tile_a, tile_b)
+            print(f"{pair.tile_id:>4}  {tile.jaccard_mean:>8.4f}  "
+                  f"{tile.intersecting_pairs:>5}  {tile.missing_a:>9}  "
+                  f"{tile.missing_b:>9}")
 
-    # Whole-image result through the pipelined system.
-    outcome = run_pipelined(
-        dir_a, dir_b,
-        PipelineOptions(
-            devices=[GpuDevice(launch_overhead=0.002)],
-            migration=MigrationConfig(),
-        ),
-    )
+        # Whole-image result through the pipelined system.
+        outcome = session.compare_files(dir_a, dir_b)
     print(f"\nimage-level J' = {outcome.jaccard_mean:.4f} over "
           f"{outcome.intersecting_pairs} pairs "
           f"({outcome.wall_seconds:.2f}s, "

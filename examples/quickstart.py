@@ -2,13 +2,13 @@
 
 Generates a synthetic pathology tile with two segmentation results (the
 second derived through a realistic perturbation model), computes their
-Jaccard similarity J' with the PixelBox batch kernel, and cross-checks
-the answer against the exact vector-geometry baseline.
+Jaccard similarity J' through the session-centric front door, and
+cross-checks the answer against the exact vector-geometry baseline.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import cross_compare
+from repro import CompareOptions, CompareRequest, Session, explain
 from repro.data import generate_tile_pair, polygon_stats
 from repro.sdbms import run_cross_compare
 
@@ -19,8 +19,10 @@ def main() -> None:
     print("result A:", polygon_stats(result_a))
     print("result B:", polygon_stats(result_b))
 
-    # PixelBox path (the paper's accelerated system).
-    result = cross_compare(result_a, result_b)
+    # PixelBox path (the paper's accelerated system).  A Session owns
+    # one warm executor; every comparison goes through it.
+    with Session() as session:
+        result = session.compare_sets(result_a, result_b)
     print()
     print("PixelBox:", result)
 
@@ -33,17 +35,31 @@ def main() -> None:
     print("Both systems agree exactly — pixelization is lossless on "
           "rectilinear polygons (paper §3.4).")
 
-    # Every execution backend computes the same bits; pick one by name
-    # (or from the shell: `python -m repro compare A B --backend auto`).
+    # Every execution backend computes the same bits; pick one with
+    # CompareOptions (or from the shell:
+    # `python -m repro compare A B --backend auto`).
     from repro.backends import available_backends
 
     print()
     for backend in available_backends():
         if backend == "simt":
             continue  # the pure-Python replay is slow at tile scale
-        routed = cross_compare(result_a, result_b, backend=backend)
+        with Session(CompareOptions(backend=backend)) as session:
+            routed = session.compare_sets(result_a, result_b)
         print(f"backend {backend:12s}: J'={routed.jaccard_mean:.4f}")
         assert routed.jaccard_mean == result.jaccard_mean
+
+    # `explain` resolves a request into its plan without executing it:
+    # which executor the cost model picks, the effective launch
+    # parameters, and the shard/coalesce sizing.
+    request = CompareRequest.from_sets(
+        result_a, result_b, CompareOptions(backend="auto")
+    )
+    plan = explain(request)
+    print()
+    print(f"plan: auto -> {plan.resolved_backend} "
+          f"({plan.n_pairs} candidate pairs, "
+          f"coalesce<={plan.coalesce_pairs})")
 
 
 if __name__ == "__main__":

@@ -3,6 +3,8 @@ Cross-Comparison on CPU-GPU Hybrid Systems" (PixelBox / SCCG, VLDB 2012).
 
 Public API tour
 ---------------
+* :mod:`repro.api` — the session-centric front door (:class:`Session`,
+  :class:`CompareRequest`, :func:`explain`).
 * :mod:`repro.geometry` — rectilinear polygons on the pixel grid.
 * :mod:`repro.exact` — exact vector overlay (the GEOS/PostGIS stand-in).
 * :mod:`repro.pixelbox` — the paper's PixelBox algorithm (all variants).
@@ -11,14 +13,17 @@ Public API tour
 * :mod:`repro.sdbms` — mini spatial DBMS with per-operator profiling.
 * :mod:`repro.io` / :mod:`repro.data` — polygon files and synthetic slides.
 * :mod:`repro.pipeline` — the SCCG pipelined framework + task migration.
+* :mod:`repro.backends` — interchangeable execution backends (registry).
+* :mod:`repro.service` / :mod:`repro.cluster` — async serving + sharding.
 * :mod:`repro.metrics` — Jaccard similarity of polygon sets.
 * :mod:`repro.experiments` — one module per paper table/figure.
 
 Quickstart
 ----------
->>> from repro import cross_compare
+>>> from repro import Session
 >>> from repro.data import generate_tile_pair
->>> result = cross_compare(*generate_tile_pair(seed=7))
+>>> with Session() as session:
+...     result = session.compare_sets(*generate_tile_pair(seed=7))
 >>> 0.0 < result.jaccard_mean <= 1.0
 True
 """
@@ -30,6 +35,13 @@ __all__ = [
     "__version__",
     "Box",
     "RectilinearPolygon",
+    "Session",
+    "CompareOptions",
+    "CompareRequest",
+    "CompareResult",
+    "PairOutcome",
+    "ResolvedPlan",
+    "explain",
     "cross_compare",
     "cross_compare_files",
     "CrossCompareResult",
@@ -38,6 +50,13 @@ __all__ = [
 ]
 
 _API_NAMES = {
+    "Session",
+    "CompareOptions",
+    "CompareRequest",
+    "CompareResult",
+    "PairOutcome",
+    "ResolvedPlan",
+    "explain",
     "cross_compare",
     "cross_compare_files",
     "CrossCompareResult",

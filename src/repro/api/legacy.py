@@ -1,0 +1,156 @@
+"""Deprecated front-door functions, kept as shims over :class:`Session`.
+
+``cross_compare`` and ``cross_compare_files`` predate the session-centric
+API.  They now parse their arguments into the same
+:class:`~repro.api.request.CompareRequest` every other front door uses
+and execute it on a throwaway :class:`~repro.session.Session` — results
+are bit-for-bit identical to the old implementations (and to every other
+entry point), which ``tests/test_session.py`` pins.
+
+Migration::
+
+    # old                                   # new
+    cross_compare(a, b, backend="auto")     Session(backend="auto").compare_sets(a, b)
+    cross_compare_files(da, db)             Session().compare_files(da, db)
+
+Both emit :class:`DeprecationWarning`; they will keep working for the
+foreseeable future but new code should hold a :class:`repro.Session`.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.api.options import CompareOptions
+from repro.api.result import CompareResult
+from repro.geometry.polygon import RectilinearPolygon
+from repro.metrics.jaccard import PairwiseJaccard
+from repro.pixelbox.common import LaunchConfig
+
+__all__ = ["CrossCompareResult", "cross_compare", "cross_compare_files"]
+
+
+@dataclass(frozen=True, slots=True)
+class CrossCompareResult:
+    """Outcome of a cross-comparison run (legacy result shape).
+
+    New code should use :class:`repro.api.result.CompareResult`, which
+    additionally carries the run's performance accounting.
+    """
+
+    jaccard_mean: float
+    intersecting_pairs: int
+    candidate_pairs: int
+    missing_a: int
+    missing_b: int
+    count_a: int
+    count_b: int
+    tiles: int = 1
+
+    @classmethod
+    def from_pairwise(
+        cls, pw: PairwiseJaccard, tiles: int = 1
+    ) -> "CrossCompareResult":
+        """Wrap a metrics-layer result."""
+        return cls(
+            jaccard_mean=pw.mean_ratio,
+            intersecting_pairs=pw.intersecting_pairs,
+            candidate_pairs=pw.candidate_pairs,
+            missing_a=pw.missing_a,
+            missing_b=pw.missing_b,
+            count_a=pw.count_a,
+            count_b=pw.count_b,
+            tiles=tiles,
+        )
+
+    @classmethod
+    def _from_result(cls, result: CompareResult) -> "CrossCompareResult":
+        return cls(
+            jaccard_mean=result.jaccard_mean,
+            intersecting_pairs=result.intersecting_pairs,
+            candidate_pairs=result.candidate_pairs,
+            missing_a=result.missing_a,
+            missing_b=result.missing_b,
+            count_a=result.count_a,
+            count_b=result.count_b,
+            tiles=result.tiles,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"J'={self.jaccard_mean:.4f} ({self.intersecting_pairs} pairs, "
+            f"{self.tiles} tile(s); {self.count_a} vs {self.count_b} "
+            f"polygons; missing {self.missing_a}/{self.missing_b})"
+        )
+
+
+def _options_from_legacy(
+    config: LaunchConfig | None, backend: str, **extra
+) -> CompareOptions:
+    """Map a legacy ``(config, backend)`` signature onto the one spec."""
+    launch = {}
+    if config is not None:
+        launch = {
+            "block_size": config.block_size,
+            "pixel_threshold": config.pixel_threshold,
+            "tight_mbr": config.tight_mbr,
+            "leaf_mode": config.leaf_mode,
+        }
+    return CompareOptions(backend=backend, **launch, **extra)
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} (see repro.Session)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def cross_compare(
+    set_a: list[RectilinearPolygon],
+    set_b: list[RectilinearPolygon],
+    config: LaunchConfig | None = None,
+    backend: str = "batch",
+) -> CrossCompareResult:
+    """Deprecated: use :meth:`repro.Session.compare_sets`.
+
+    Cross-compare two in-memory polygon sets (one tile's results);
+    results are bit-for-bit identical to the session API.
+    """
+    from repro.session import Session
+
+    _deprecated("cross_compare()", "Session.compare_sets()")
+    with Session(_options_from_legacy(config, backend)) as session:
+        return CrossCompareResult._from_result(
+            session.compare_sets(set_a, set_b)
+        )
+
+
+def cross_compare_files(
+    dir_a: str | Path,
+    dir_b: str | Path,
+    config: LaunchConfig | None = None,
+    parser_workers: int = 2,
+    backend: str = "batch",
+) -> CrossCompareResult:
+    """Deprecated: use :meth:`repro.Session.compare_files`.
+
+    Cross-compare two on-disk result sets with the SCCG pipeline.  Now
+    routed through :class:`CompareOptions`, so the pipeline knobs this
+    shim's old implementation silently dropped (``buffer_capacity``,
+    ``batch_pairs``, ``migration``) follow the one shared default, and
+    ``tight_mbr`` matches the pipeline's production policy.
+    """
+    from repro.session import Session
+
+    _deprecated("cross_compare_files()", "Session.compare_files()")
+    options = _options_from_legacy(
+        config, backend, parser_workers=parser_workers
+    )
+    with Session(options) as session:
+        return CrossCompareResult._from_result(
+            session.compare_files(dir_a, dir_b)
+        )

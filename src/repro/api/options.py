@@ -1,0 +1,207 @@
+"""One typed, serializable options record for every front door.
+
+Before this module existed the one logical operation — cross-compare two
+spatial result sets — was configured through four drifting surfaces:
+``LaunchConfig`` (kernel launch), ``PipelineOptions`` (file pipeline),
+``ServiceConfig`` (serving), and ad-hoc backend-option dicts plus
+``REPRO_*`` environment variables.  The drift was real:
+``api.cross_compare_files`` defaulted ``LaunchConfig()`` while the
+pipeline defaulted ``tight_mbr=True``, and it silently dropped the
+``buffer_capacity`` / ``batch_pairs`` / ``migration`` knobs entirely.
+
+:class:`CompareOptions` is now the single place those knobs live, with a
+single set of defaults.  The CLI, the service wire protocol, and the
+library all parse into it; the legacy config objects are *derived* from
+it (:meth:`CompareOptions.launch_config`,
+:meth:`CompareOptions.pipeline_options`), never the other way around.
+Every field is a JSON-able scalar or mapping, so a request spec can
+travel over a wire, live in a file, and round-trip bit-for-bit
+(:meth:`to_dict` / :meth:`from_dict`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from repro.errors import RequestError
+from repro.pixelbox.common import DEFAULT_BLOCK_SIZE, LaunchConfig
+
+__all__ = ["CompareOptions", "DEFAULT_OPTIONS"]
+
+
+def _frozen_mapping(value: Mapping[str, Any] | None) -> Mapping[str, Any]:
+    if value is None:
+        return MappingProxyType({})
+    if not isinstance(value, Mapping):
+        raise RequestError(
+            f"backend_options must be a mapping, got {type(value).__name__}"
+        )
+    return MappingProxyType(dict(value))
+
+
+@dataclass(frozen=True)
+class CompareOptions:
+    """Every knob of one cross-comparison, in one typed place.
+
+    Attributes
+    ----------
+    backend:
+        Execution backend registry name (``repro backends``).  ``"auto"``
+        defers the choice to the cycle cost model at dispatch time.
+    backend_options:
+        Keyword arguments for the backend factory (e.g.
+        ``{"workers": 4}`` for the multiprocess pool).
+    hosts:
+        Worker addresses for the ``cluster`` backend
+        (``"host:port,host:port"``).  ``None`` falls back to
+        ``REPRO_CLUSTER_HOSTS`` and then to self-hosted loopback workers.
+    cost_profile:
+        Path of a calibration profile written by ``repro calibrate``;
+        ``None`` uses ``REPRO_COST_PROFILE`` or the modeled constants.
+    block_size, pixel_threshold, tight_mbr, leaf_mode:
+        Kernel launch parameters (see
+        :class:`repro.pixelbox.common.LaunchConfig`).  The defaults here
+        are **the** defaults: ``tight_mbr=True`` is the production
+        pipeline's policy, and now every front door shares it (results
+        are exact either way — this is purely a performance knob).
+    parser_workers, buffer_capacity, batch_pairs:
+        File-pipeline shape (worker threads for the parser stage,
+        bounded-buffer capacity, pairs per aggregator batch).  Ignored
+        for in-memory comparisons.
+    migration:
+        Enable dynamic CPU/GPU task migration for file comparisons
+        (paper §4.2).  Off by default, matching the old library default.
+    """
+
+    # -- execution substrate -------------------------------------------
+    backend: str = "batch"
+    backend_options: Mapping[str, Any] = field(default_factory=dict)
+    hosts: str | None = None
+    cost_profile: str | None = None
+    # -- kernel launch (the one set of defaults) -----------------------
+    block_size: int = DEFAULT_BLOCK_SIZE
+    pixel_threshold: int | None = None
+    tight_mbr: bool = True
+    leaf_mode: str = "scan"
+    # -- file pipeline -------------------------------------------------
+    parser_workers: int = 2
+    buffer_capacity: int = 8
+    batch_pairs: int = 4096
+    migration: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "backend_options", _frozen_mapping(self.backend_options)
+        )
+        if not self.backend or not isinstance(self.backend, str):
+            raise RequestError(f"backend must be a name, got {self.backend!r}")
+        # Validate the launch parameters eagerly with the authoritative
+        # validator — a bad block size must fail when the spec is built,
+        # not when a worker thread finally launches a kernel.
+        try:
+            self.launch_config()
+        except Exception as exc:
+            raise RequestError(f"invalid launch parameters: {exc}") from exc
+        if self.parser_workers < 1:
+            raise RequestError(
+                f"parser_workers must be >= 1, got {self.parser_workers}"
+            )
+        if self.buffer_capacity < 1:
+            raise RequestError(
+                f"buffer_capacity must be >= 1, got {self.buffer_capacity}"
+            )
+        if self.batch_pairs < 1:
+            raise RequestError(
+                f"batch_pairs must be >= 1, got {self.batch_pairs}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived legacy config objects
+    # ------------------------------------------------------------------
+    def launch_config(self) -> LaunchConfig:
+        """The kernel :class:`LaunchConfig` this spec resolves to."""
+        return LaunchConfig(
+            block_size=self.block_size,
+            pixel_threshold=self.pixel_threshold,
+            tight_mbr=self.tight_mbr,
+            leaf_mode=self.leaf_mode,
+        )
+
+    def resolved_backend_options(self) -> dict[str, Any]:
+        """Factory kwargs with the cluster host list folded in."""
+        options = dict(self.backend_options)
+        if self.hosts is not None:
+            if self.backend not in ("cluster",):
+                raise RequestError(
+                    f"hosts={self.hosts!r} requires backend 'cluster', "
+                    f"got {self.backend!r}"
+                )
+            options.setdefault("hosts", self.hosts)
+        return options
+
+    def pipeline_options(self, devices=None):
+        """The :class:`~repro.pipeline.engine.PipelineOptions` equivalent.
+
+        Unlike the old ``cross_compare_files`` plumbing, *every* pipeline
+        knob of this spec is honored — ``buffer_capacity``,
+        ``batch_pairs``, and ``migration`` included.
+        """
+        from repro.pipeline.engine import PipelineOptions
+        from repro.pipeline.migration import MigrationConfig
+
+        return PipelineOptions(
+            parser_workers=self.parser_workers,
+            buffer_capacity=self.buffer_capacity,
+            batch_pairs=self.batch_pairs,
+            launch_config=self.launch_config(),
+            devices=devices,
+            migration=MigrationConfig() if self.migration else None,
+            backend=self.backend,
+            backend_options=self.resolved_backend_options(),
+        )
+
+    def replace(self, **changes) -> "CompareOptions":
+        """A copy with ``changes`` applied (frozen-dataclass update)."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able mapping; defaults are omitted so specs stay small."""
+        out: dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if f.name == "backend_options":
+                value = dict(value)
+                if not value:
+                    continue
+            elif f.default is not dataclasses.MISSING and value == f.default:
+                continue
+            out[f.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any] | None) -> "CompareOptions":
+        """Parse a mapping produced by :meth:`to_dict` (or hand-written)."""
+        if raw is None:
+            return cls()
+        if not isinstance(raw, Mapping):
+            raise RequestError(
+                f"options must be a mapping, got {type(raw).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(raw) - known
+        if unknown:
+            raise RequestError(
+                f"unknown option fields: {sorted(unknown)} "
+                f"(known: {sorted(known)})"
+            )
+        return cls(**dict(raw))
+
+
+#: The library-wide defaults, as one shared immutable instance.
+DEFAULT_OPTIONS = CompareOptions()

@@ -1,0 +1,277 @@
+"""``explain()``: the resolved execution plan, without executing.
+
+Given a :class:`~repro.api.request.CompareRequest`, :func:`explain`
+reports everything the execution layer *would* decide — the chosen
+backend (including the cost model's pick when the spec says ``auto``),
+its structured capabilities, the effective launch parameters, the
+coalescing and shard sizing the cost model recommends, the cluster host
+resolution, and whether a calibration profile is active — as one
+serializable :class:`ResolvedPlan`.
+
+Nothing is executed: no kernel runs, no worker process forks, no socket
+connects.  Backends are instantiated only to read their capability
+report (construction is lazy by contract — pools and connections are
+created on first dispatch, which ``explain`` never performs) and are
+closed again before returning.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.api.options import CompareOptions
+from repro.api.request import CompareRequest
+from repro.errors import ReproError
+
+__all__ = ["ResolvedPlan", "explain"]
+
+
+@dataclass(frozen=True, slots=True)
+class ResolvedPlan:
+    """What one request resolves to, before any work happens.
+
+    Attributes
+    ----------
+    kind:
+        Request payload kind (``pairs`` / ``sets`` / ``files``).
+    backend:
+        Backend named by the spec (possibly ``"auto"``).
+    resolved_backend:
+        Concrete executor after cost-model dispatch; equals ``backend``
+        unless the spec said ``auto`` and the workload could be profiled.
+    capabilities:
+        Structured capability report of the resolved backend.
+    launch:
+        Effective kernel launch parameters.
+    n_pairs, mean_edges, mean_mbr_pixels:
+        Workload profile (``None`` for file requests, whose pairs are
+        not known until the pipeline's filter stage runs).
+    tiles:
+        Tile-pair count for file requests (``None`` otherwise).
+    coalesce_pairs:
+        Cost-model pair budget for one coalesced service dispatch.
+    shard_pairs:
+        Cost-model pairs per shard for pooled/remote executors
+        (``None`` when the resolved backend does not shard).
+    hosts:
+        Resolved cluster worker addresses (``["loopback"]`` when the
+        cluster backend would self-host).
+    calibration:
+        Provenance of the active cost profile (``"modeled"`` when none).
+    migration:
+        Whether the file pipeline would run task migration.
+    notes:
+        Human-readable capability-check observations (non-fatal).
+    """
+
+    kind: str
+    backend: str
+    resolved_backend: str
+    capabilities: dict[str, Any]
+    launch: dict[str, Any]
+    n_pairs: int | None = None
+    mean_edges: float | None = None
+    mean_mbr_pixels: float | None = None
+    tiles: int | None = None
+    coalesce_pairs: int | None = None
+    shard_pairs: int | None = None
+    hosts: tuple[str, ...] = ()
+    calibration: str = "modeled"
+    migration: bool = False
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able rendering (``repro explain`` prints this)."""
+        return {
+            "kind": self.kind,
+            "backend": self.backend,
+            "resolved_backend": self.resolved_backend,
+            "capabilities": dict(self.capabilities),
+            "launch": dict(self.launch),
+            "workload": {
+                "n_pairs": self.n_pairs,
+                "mean_edges": self.mean_edges,
+                "mean_mbr_pixels": self.mean_mbr_pixels,
+                "tiles": self.tiles,
+            },
+            "sizing": {
+                "coalesce_pairs": self.coalesce_pairs,
+                "shard_pairs": self.shard_pairs,
+            },
+            "hosts": list(self.hosts),
+            "calibration": self.calibration,
+            "migration": self.migration,
+            "notes": list(self.notes),
+        }
+
+
+def _profile(request: CompareRequest):
+    """``(pairs, n)`` of the workload, or ``(None, None)`` for files."""
+    if request.kind == "pairs":
+        return list(request.pairs), len(request.pairs)
+    if request.kind == "sets":
+        from repro.index.join import mbr_pair_join
+
+        join = mbr_pair_join(list(request.set_a), list(request.set_b))
+        pairs = join.pairs(list(request.set_a), list(request.set_b))
+        return pairs, len(pairs)
+    return None, None
+
+
+def _resolve_calibration(options: CompareOptions) -> tuple[object, str]:
+    from repro.gpu.cost import active_calibration, load_calibration
+
+    if options.cost_profile is not None:
+        cal = load_calibration(options.cost_profile)
+        return cal, cal.source
+    cal = active_calibration()
+    return cal, (cal.source if cal is not None else "modeled")
+
+
+def _resolve_hosts(options: CompareOptions) -> tuple[tuple[str, ...], bool]:
+    """``(addresses, explicit)`` the cluster backend would use."""
+    from repro.cluster.coordinator import parse_hosts
+
+    hosts = options.hosts
+    if hosts is None:
+        hosts = os.environ.get("REPRO_CLUSTER_HOSTS") or None
+    if hosts is None:
+        return ("loopback",), False
+    return (
+        tuple(f"{h}:{p}" for h, p in parse_hosts(hosts)),
+        True,
+    )
+
+
+def explain(request: CompareRequest) -> ResolvedPlan:
+    """Resolve ``request`` into its execution plan without executing it.
+
+    Raises :class:`~repro.errors.ReproError` subclasses for specs the
+    execution layer would reject (unknown backend, options the factory
+    refuses, malformed host lists) — ``explain`` is the cheap way to
+    validate a request before committing resources to it.
+    """
+    from repro.backends import get_backend
+    from repro.gpu.cost import (
+        recommend_backend,
+        recommend_batch_pairs,
+        recommend_shard_pairs,
+    )
+
+    options = request.options
+    cal, cal_source = _resolve_calibration(options)
+    cfg = options.launch_config()
+    notes: list[str] = []
+
+    pairs, n_pairs = _profile(request)
+    mean_edges = mean_pixels = None
+    if pairs is not None:
+        from repro.backends.auto import profile_pairs
+
+        mean_edges, mean_pixels = profile_pairs(pairs)
+
+    # Capability check: instantiate (lazily — no pools, no sockets),
+    # read the report, release.  A bad backend name or rejected option
+    # fails here with the registry's named error.
+    backend = get_backend(options.backend, **options.resolved_backend_options())
+    try:
+        caps = backend.capabilities()
+        workers = caps.max_workers
+    finally:
+        backend.close()
+
+    resolved = options.backend
+    if options.backend == "auto" and pairs is not None:
+        resolved = recommend_backend(
+            n_pairs,
+            mean_edges,
+            mean_pixels,
+            cfg.threshold,
+            cfg.block_size,
+            workers=workers,
+            calibration=cal,
+        )
+    elif options.backend == "auto":
+        notes.append(
+            "auto dispatch resolves per batch once the pipeline's filter "
+            "stage produces pairs"
+        )
+
+    resolved_caps = caps
+    if resolved != options.backend:
+        # Mirror AutoBackend._delegate: the auto dispatcher forwards its
+        # worker count to a multiprocess delegate, so the plan must
+        # report that sizing, not a default-constructed instance's.
+        delegate_options = (
+            {"workers": workers} if resolved == "multiprocess" else {}
+        )
+        delegate = get_backend(resolved, **delegate_options)
+        try:
+            resolved_caps = delegate.capabilities()
+        finally:
+            delegate.close()
+
+    coalesce = shard = None
+    if pairs is not None and mean_edges is not None:
+        coalesce = recommend_batch_pairs(
+            mean_edges, mean_pixels, cfg.threshold, cfg.block_size,
+            calibration=cal,
+        )
+        if resolved in ("multiprocess", "cluster"):
+            shard = recommend_shard_pairs(
+                n_pairs,
+                mean_edges,
+                mean_pixels,
+                cfg.threshold,
+                cfg.block_size,
+                workers=max(1, workers),
+                calibration=cal,
+            )
+
+    hosts: tuple[str, ...] = ()
+    if options.backend == "cluster" or resolved == "cluster":
+        hosts, explicit = _resolve_hosts(options)
+        if not explicit:
+            notes.append(
+                "no cluster hosts configured: self-hosted loopback workers"
+            )
+
+    tiles = None
+    if request.kind == "files":
+        from repro.io.tiles import pair_result_sets
+
+        try:
+            tiles = len(pair_result_sets(request.dir_a, request.dir_b))
+        except ReproError as exc:
+            notes.append(f"result sets not pairable yet: {exc}")
+
+    if not caps.configurable_workers and "workers" in options.backend_options:
+        notes.append(
+            f"backend {options.backend!r} ignores the workers option"
+        )
+
+    return ResolvedPlan(
+        kind=request.kind,
+        backend=options.backend,
+        resolved_backend=resolved,
+        capabilities=resolved_caps.as_dict(),
+        launch={
+            "block_size": cfg.block_size,
+            "pixel_threshold": cfg.pixel_threshold,
+            "effective_threshold": cfg.threshold,
+            "tight_mbr": cfg.tight_mbr,
+            "leaf_mode": cfg.leaf_mode,
+        },
+        n_pairs=n_pairs,
+        mean_edges=mean_edges,
+        mean_mbr_pixels=mean_pixels,
+        tiles=tiles,
+        coalesce_pairs=coalesce,
+        shard_pairs=shard,
+        hosts=hosts,
+        calibration=cal_source,
+        migration=options.migration,
+        notes=tuple(notes),
+    )

@@ -75,6 +75,10 @@ class BackendCapabilities:
     remote: bool = False
     notes: str = ""
 
+    def as_dict(self) -> dict:
+        """JSON-able rendering (``repro backends --json``, ``explain``)."""
+        return dataclasses.asdict(self)
+
     def summary(self) -> str:
         """Compact rendering for ``repro backends``."""
         tags = []

@@ -3,14 +3,19 @@
 Subcommands::
 
     repro list-experiments
-    repro backends
+    repro backends [--json]
     repro run fig7 [--full]
     repro run-all [--full]
     repro generate-suite [--scale 0.02] [--root DIR]
     repro compare DIR_A DIR_B [--no-migration] [--backend NAME] [--hosts ...]
+    repro explain REQUEST.json
     repro serve [--backend NAME] [--port N | --stdio] [--max-queue N]
     repro worker [--host H] [--port N] [--max-tables N]
     repro calibrate [--output FILE] [--quick]
+
+Every comparison-shaped subcommand parses into the same declarative
+:class:`repro.api.CompareRequest` the library and the service protocol
+use — the CLI is a thin adapter over that one spec.
 """
 
 from __future__ import annotations
@@ -38,8 +43,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list-experiments", help="list experiment ids")
 
-    sub.add_parser(
+    bck = sub.add_parser(
         "backends", help="list registered execution backends"
+    )
+    bck.add_argument(
+        "--json", action="store_true",
+        help="machine-readable listing (names + structured capabilities)",
     )
 
     run = sub.add_parser("run", help="run one experiment")
@@ -76,6 +85,20 @@ def build_parser() -> argparse.ArgumentParser:
             "(host:port,...); default REPRO_CLUSTER_HOSTS or local "
             "loopback workers"
         ),
+    )
+    cmp_.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for pooled backends (multiprocess/auto)",
+    )
+
+    exp = sub.add_parser(
+        "explain",
+        help="print the resolved execution plan of a request spec, "
+        "without executing it",
+    )
+    exp.add_argument(
+        "request", type=Path,
+        help="JSON CompareRequest spec (see repro.api.CompareRequest)",
     )
 
     srv = sub.add_parser(
@@ -168,12 +191,29 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "backends":
         from repro.backends import available_backends, get_backend
 
+        if args.json:
+            import json
+
+            listing = []
+            for name in available_backends():
+                backend = get_backend(name)
+                listing.append(
+                    {
+                        "name": name,
+                        "description": backend.description,
+                        "capabilities": backend.capabilities().as_dict(),
+                    }
+                )
+                backend.close()
+            print(json.dumps(listing, indent=2))
+            return 0
         for name in available_backends():
             backend = get_backend(name)
             caps = backend.capabilities()
             print(f"{name:14s} [{caps.summary():24s}] {backend.description}")
             if caps.notes:
                 print(f"{'':14s} {'':26s} {caps.notes}")
+            backend.close()
         return 0
 
     if args.command == "run":
@@ -202,56 +242,68 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "compare":
-        import os
+        from repro.api import Session, request_from_cli
 
-        from repro.api import cross_compare_files
-        from repro.pipeline.engine import PipelineOptions, run_pipelined
-        from repro.pipeline.migration import MigrationConfig
-
-        if args.hosts is not None:
-            from repro.cluster import parse_hosts
-
-            parse_hosts(args.hosts)  # fail fast on malformed addresses
-            # The pipeline resolves backends by registry name; the
-            # cluster factory reads its host list from the environment.
-            os.environ["REPRO_CLUSTER_HOSTS"] = args.hosts
-
-        if args.no_migration:
-            outcome = run_pipelined(
-                args.dir_a, args.dir_b, PipelineOptions(backend=args.backend)
-            )
-        else:
-            outcome = run_pipelined(
-                args.dir_a, args.dir_b,
-                PipelineOptions(
-                    migration=MigrationConfig(), backend=args.backend
-                ),
-            )
+        request = request_from_cli(
+            args.dir_a,
+            args.dir_b,
+            backend=args.backend,
+            hosts=args.hosts,
+            migration=not args.no_migration,
+            workers=args.workers,
+        )
+        with Session(request.options) as session:
+            result = session.run(request)
         print(
-            f"J' = {outcome.jaccard_mean:.4f} over "
-            f"{outcome.intersecting_pairs} intersecting pairs "
-            f"({outcome.tiles} tiles, {outcome.wall_seconds:.2f}s, "
-            f"{outcome.throughput / 1e6:.2f} MB/s)"
+            f"J' = {result.jaccard_mean:.4f} over "
+            f"{result.intersecting_pairs} intersecting pairs "
+            f"({result.tiles} tiles, {result.wall_seconds:.2f}s, "
+            f"{result.throughput / 1e6:.2f} MB/s)"
         )
         print(
-            f"missing polygons: {outcome.missing_a} of {outcome.count_a} "
-            f"in A, {outcome.missing_b} of {outcome.count_b} in B"
+            f"missing polygons: {result.missing_a} of {result.count_a} "
+            f"in A, {result.missing_b} of {result.count_b} in B"
         )
+        return 0
+
+    if args.command == "explain":
+        import json
+
+        from repro.api import CompareRequest, explain
+        from repro.errors import ReproError
+
+        try:
+            text = args.request.read_text()
+        except OSError as exc:
+            print(f"cannot read request spec: {exc}", file=sys.stderr)
+            return 1
+        try:
+            plan = explain(CompareRequest.from_json(text))
+        except ReproError as exc:
+            print(f"request does not resolve: {exc}", file=sys.stderr)
+            return 1
+        print(json.dumps(plan.as_dict(), indent=2))
         return 0
 
     if args.command == "serve":
         import asyncio
 
+        from repro.api import CompareOptions
         from repro.service import ServiceConfig, serve
 
-        options = {}
+        # The service's execution substrate is the same spec `repro
+        # compare` parses into; ServiceConfig adds only the serving
+        # knobs (admission, coalescing, timeouts).
+        backend_options = {}
         if args.workers is not None:
-            options["workers"] = args.workers
-        if args.hosts is not None:
-            options["hosts"] = args.hosts
-        config = ServiceConfig(
+            backend_options["workers"] = args.workers
+        compare_options = CompareOptions(
             backend=args.backend,
-            backend_options=options,
+            backend_options=backend_options,
+            hosts=args.hosts,
+        )
+        config = ServiceConfig.from_options(
+            compare_options,
             max_queue=args.max_queue,
             max_batch_pairs=args.max_batch_pairs,
             coalesce_window=args.coalesce_window,

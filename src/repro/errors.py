@@ -7,6 +7,34 @@ able to distinguish geometry problems from, say, pipeline misuse.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "RectilinearityError",
+    "RingClosureError",
+    "RasterError",
+    "WktError",
+    "ParseError",
+    "IndexError_",
+    "QueryError",
+    "CatalogError",
+    "KernelError",
+    "DeviceError",
+    "PipelineError",
+    "BufferClosedError",
+    "MigrationError",
+    "RequestError",
+    "SessionClosedError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
+    "ClusterError",
+    "ClusterConfigError",
+    "ClusterProtocolError",
+    "DatasetError",
+    "ExperimentError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by :mod:`repro`."""
@@ -66,6 +94,14 @@ class BufferClosedError(PipelineError):
 
 class MigrationError(PipelineError):
     """Dynamic task migration configuration error."""
+
+
+class RequestError(ReproError):
+    """Invalid :class:`repro.api.CompareRequest` / :class:`CompareOptions`."""
+
+
+class SessionClosedError(ReproError):
+    """A closed :class:`repro.Session` was asked to execute a request."""
 
 
 class ServiceError(ReproError):

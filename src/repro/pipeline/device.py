@@ -49,6 +49,8 @@ class GpuDevice:
         launch_overhead: float = 0.002,
         slowdown: float = 1.0,
         backend: str = "batch",
+        backend_options: dict | None = None,
+        backend_instance=None,
     ) -> None:
         if launch_overhead < 0:
             raise DeviceError("launch overhead cannot be negative")
@@ -57,10 +59,16 @@ class GpuDevice:
         self.name = name
         self.launch_overhead = launch_overhead
         self.slowdown = slowdown
-        self.backend_name = backend
-        # Resolve through the registry up front so a typo fails at device
-        # construction, not mid-pipeline inside a worker thread.
-        self._backend = get_backend(backend)
+        if backend_instance is not None:
+            # A lifecycle owner (e.g. repro.Session) lends its warm
+            # executor to the pipeline; the device never closes it.
+            self.backend_name = getattr(backend_instance, "name", backend)
+            self._backend = backend_instance
+        else:
+            self.backend_name = backend
+            # Resolve through the registry up front so a typo fails at
+            # device construction, not mid-pipeline in a worker thread.
+            self._backend = get_backend(backend, **(backend_options or {}))
         self.stats = DeviceStats()
         self._lock = threading.Lock()
 

@@ -69,6 +69,9 @@ class PipelineOptions:
     #: (a :mod:`repro.backends` registry name).  Explicitly supplied
     #: devices keep their own backend configuration.
     backend: str = "batch"
+    #: Factory keyword arguments for the default device's backend (e.g.
+    #: ``{"hosts": "..."}`` for the cluster backend).
+    backend_options: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.parser_workers < 1:
@@ -78,7 +81,11 @@ class PipelineOptions:
 
     def make_devices(self) -> list[GpuDevice]:
         """The device list (freshly created default when unset)."""
-        return self.devices if self.devices else [GpuDevice(backend=self.backend)]
+        if self.devices:
+            return self.devices
+        return [
+            GpuDevice(backend=self.backend, backend_options=self.backend_options)
+        ]
 
 
 @dataclass(slots=True)

@@ -105,6 +105,37 @@ class ServiceConfig:
     max_batch_pairs: int | None = None
     coalesce_window: float = 0.002
     default_timeout: float | None = None
+    #: The CompareOptions this config was derived from (when built with
+    #: :meth:`from_options`); the wire front-end overlays per-request
+    #: launch parameters onto it so every service request parses into
+    #: the same CompareRequest spec the CLI and library build.
+    base_options: Any = None
+
+    @classmethod
+    def from_options(cls, options, **serving_knobs) -> "ServiceConfig":
+        """Build a service config from one :class:`repro.CompareOptions`.
+
+        The execution substrate (backend name, factory options, cluster
+        hosts) comes from the shared request spec; ``serving_knobs`` are
+        the service-only fields (``max_queue``, ``coalesce_window``,
+        ``max_batch_pairs``, ``default_timeout``).
+        """
+        return cls(
+            backend=options.backend,
+            backend_options=options.resolved_backend_options(),
+            base_options=options,
+            **serving_knobs,
+        )
+
+    def compare_options(self):
+        """The :class:`repro.CompareOptions` requests overlay onto."""
+        if self.base_options is not None:
+            return self.base_options
+        from repro.api.options import CompareOptions
+
+        return CompareOptions(
+            backend=self.backend, backend_options=dict(self.backend_options)
+        )
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:

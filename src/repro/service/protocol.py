@@ -21,6 +21,12 @@ Response shape::
 ``bad-request`` (malformed input — do not retry), ``overloaded``
 (admission control — retry with backoff), ``timeout``, ``closed``
 (service shutting down), ``internal``.
+
+This module owns the framing (encode/parse/validate, payload and error
+rendering); the server decodes each ``compare`` body into the shared
+declarative spec via :func:`repro.api.request.request_from_wire`, so
+wire requests, CLI flags, and library calls all build the identical
+:class:`~repro.api.request.CompareRequest`.
 """
 
 from __future__ import annotations
@@ -35,8 +41,7 @@ from repro.errors import (
     ServiceError,
     ServiceOverloadedError,
 )
-from repro.geometry.wkt import polygon_from_wkt, polygon_to_wkt
-from repro.pixelbox.common import LaunchConfig
+from repro.geometry.wkt import polygon_to_wkt
 from repro.pixelbox.engine import BatchAreas
 
 __all__ = [
@@ -45,16 +50,12 @@ __all__ = [
     "parse_request",
     "validate_request",
     "decode_request",
-    "pairs_from_wire",
     "pairs_to_wire",
-    "config_from_wire",
     "compare_payload",
     "error_payload",
 ]
 
 OPS = ("compare", "ping", "stats", "shutdown")
-
-_CONFIG_FIELDS = ("block_size", "pixel_threshold", "tight_mbr", "leaf_mode")
 
 
 def encode(message: dict[str, Any]) -> bytes:
@@ -103,31 +104,9 @@ def decode_request(line: bytes | str) -> dict[str, Any]:
     return validate_request(parse_request(line))
 
 
-def pairs_from_wire(raw: list) -> list:
-    """WKT pair list -> polygon pair list."""
-    pairs = []
-    for item in raw:
-        if not isinstance(item, (list, tuple)) or len(item) != 2:
-            raise ServiceError("each pair must be a [wkt, wkt] 2-list")
-        pairs.append((polygon_from_wkt(item[0]), polygon_from_wkt(item[1])))
-    return pairs
-
-
 def pairs_to_wire(pairs: list) -> list[list[str]]:
     """Polygon pair list -> WKT pair list (client side)."""
     return [[polygon_to_wkt(p), polygon_to_wkt(q)] for p, q in pairs]
-
-
-def config_from_wire(raw: dict[str, Any] | None) -> LaunchConfig | None:
-    """Optional launch-config object -> :class:`LaunchConfig`."""
-    if raw is None:
-        return None
-    if not isinstance(raw, dict):
-        raise ServiceError("'config' must be an object")
-    unknown = set(raw) - set(_CONFIG_FIELDS)
-    if unknown:
-        raise ServiceError(f"unknown config fields: {sorted(unknown)}")
-    return LaunchConfig(**raw)
 
 
 def compare_payload(areas: BatchAreas) -> dict[str, Any]:

@@ -19,6 +19,7 @@ import contextlib
 import sys
 from typing import Any, Callable
 
+from repro.api.request import request_from_wire
 from repro.service import protocol
 from repro.service.core import ComparisonService, ServiceConfig
 
@@ -39,12 +40,16 @@ async def _answer(
     if op == "shutdown":
         shutdown.set()
         return {"ok": True, "stopping": True}
-    pairs = protocol.pairs_from_wire(message["pairs"])
-    config = protocol.config_from_wire(message.get("config"))
+    # Each compare line parses into the same declarative CompareRequest
+    # the CLI and the library build; the service's own CompareOptions
+    # are the base the per-request config overlays.
+    request = request_from_wire(message, service.config.compare_options())
     kwargs: dict[str, Any] = {}
     if "timeout" in message:
         kwargs["timeout"] = message["timeout"]
-    areas = await service.submit(pairs, config, **kwargs)
+    areas = await service.submit(
+        list(request.pairs), request.launch_config(), **kwargs
+    )
     return {"ok": True, **protocol.compare_payload(areas)}
 
 

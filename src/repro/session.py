@@ -1,0 +1,393 @@
+"""``Session``: the library's front door, owning one backend lifecycle.
+
+The paper's system exposes one logical operation — cross-compare two
+spatial result sets on whatever mix of CPU/GPU resources is available.
+:class:`Session` is that operation as an object:
+
+* it owns the **backend lifecycle** — the executor named by its
+  :class:`~repro.api.options.CompareOptions` is resolved lazily on first
+  use, kept warm across calls (pooled executors run in persistent mode,
+  exactly like the comparison service's warm pool), pre-spawnable with
+  :meth:`warm`, and released by :meth:`close` / the context manager;
+* every comparison — explicit pairs (:meth:`compare`), two polygon sets
+  (:meth:`compare_sets`), two result-set directories
+  (:meth:`compare_files`), an incremental :meth:`stream`, an async
+  :meth:`submit`, or a pre-built declarative spec (:meth:`run`) — goes
+  through the **same** :class:`~repro.api.request.CompareRequest`
+  the CLI and the service protocol parse into;
+* :meth:`explain` resolves any request into its execution plan (chosen
+  backend, cost-model sizing, capability checks) **without executing**.
+
+Usage::
+
+    from repro import Session, CompareOptions
+
+    with Session(CompareOptions(backend="multiprocess")) as session:
+        result = session.compare_files("results_a", "results_b")
+        areas = session.compare(pairs)          # raw per-pair areas
+        for outcome in session.stream(pairs):   # incremental, per shard
+            ...
+
+Results are bit-for-bit identical across every backend and every entry
+point — execution choices are performance knobs, never semantics — and
+bit-for-bit identical to the legacy ``cross_compare*`` functions, which
+are now deprecation shims over this class.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import threading
+import time
+from pathlib import Path
+from typing import AsyncIterator, Iterator, Sequence
+
+from repro.api.options import CompareOptions
+from repro.api.plan import ResolvedPlan, explain as _explain
+from repro.api.request import CompareRequest, Pair
+from repro.api.result import CompareResult, PairOutcome
+from repro.errors import RequestError, SessionClosedError
+from repro.metrics.jaccard import jaccard_from_areas
+from repro.pixelbox.engine import BatchAreas
+
+__all__ = ["Session"]
+
+# Backends whose factories accept a persistence knob; a session is a
+# long-lived owner, so (like the comparison service) it defaults their
+# pools to session lifetime instead of per-call lifetime.
+_POOLED_BACKENDS = ("multiprocess", "auto")
+
+
+class Session:
+    """One warm execution context for many comparisons.
+
+    Parameters
+    ----------
+    options:
+        The session-wide :class:`CompareOptions` (defaults apply when
+        ``None``).  Per-call ``options`` may override it request by
+        request; requests that match the session backend reuse the warm
+        executor, others resolve a throwaway one.
+    **overrides:
+        Convenience field overrides, e.g. ``Session(backend="auto")``
+        instead of ``Session(CompareOptions(backend="auto"))``.
+    """
+
+    def __init__(
+        self, options: CompareOptions | None = None, **overrides
+    ) -> None:
+        base = options or CompareOptions()
+        self.options = base.replace(**overrides) if overrides else base
+        self._backend = None
+        self._closed = False
+        self._lock = threading.Lock()
+        # One launch at a time on the warm backend (the exclusive-device
+        # contract GpuDevice enforces for the pipeline); concurrent
+        # submit()/compare() calls from many threads serialize here.
+        self._dispatch_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError(
+                "session is closed; create a new Session (close() released "
+                "its backend and the session cannot be reused)"
+            )
+
+    @property
+    def backend(self):
+        """The warm backend instance, resolved on first access."""
+        self._check_open()
+        with self._lock:
+            if self._backend is None:
+                from repro.backends import get_backend
+
+                factory_options = self.options.resolved_backend_options()
+                if self.options.backend in _POOLED_BACKENDS:
+                    factory_options.setdefault("persistent", True)
+                self._backend = get_backend(
+                    self.options.backend, **factory_options
+                )
+                self._apply_cost_profile()
+            return self._backend
+
+    def _apply_cost_profile(self) -> None:
+        """Activate the spec's calibration profile (process-wide)."""
+        if self.options.cost_profile is None:
+            return
+        from repro.gpu.cost import load_calibration, set_calibration
+
+        set_calibration(load_calibration(self.options.cost_profile))
+
+    def warm(self) -> "Session":
+        """Resolve the backend and pre-spawn its pooled state.
+
+        For pooled executors (worker processes, cluster connections)
+        this pays the spin-up cost now instead of on the first request —
+        and a cluster with no reachable workers fails here, not later.
+        """
+        backend = self.backend
+        warm = getattr(backend, "warm", None)
+        if callable(warm):
+            warm()
+        return self
+
+    def close(self) -> None:
+        """Release the backend; idempotent.  The session cannot be reused."""
+        with self._lock:
+            backend, self._backend = self._backend, None
+            self._closed = True
+        if backend is not None:
+            backend.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Request construction + execution
+    # ------------------------------------------------------------------
+    def _options_for(self, options: CompareOptions | None) -> CompareOptions:
+        return options if options is not None else self.options
+
+    def _backend_for(self, options: CompareOptions):
+        """The executor for one request (warm when the spec matches)."""
+        if (
+            options.backend == self.options.backend
+            and options.resolved_backend_options()
+            == self.options.resolved_backend_options()
+        ):
+            return self.backend, False
+        from repro.backends import get_backend
+
+        return (
+            get_backend(options.backend, **options.resolved_backend_options()),
+            True,
+        )
+
+    def run(self, request: CompareRequest):
+        """Execute a declarative request (dispatch on its kind).
+
+        ``pairs`` requests return raw :class:`BatchAreas`; ``sets`` and
+        ``files`` requests return a :class:`CompareResult`.
+        """
+        self._check_open()
+        if request.kind == "pairs":
+            return self._run_pairs(request)
+        if request.kind == "sets":
+            return self._run_sets(request)
+        return self._run_files(request)
+
+    def _run_pairs(self, request: CompareRequest) -> BatchAreas:
+        backend, throwaway = self._backend_for(request.options)
+        try:
+            if throwaway:
+                return backend.compare_pairs(
+                    list(request.pairs), request.launch_config()
+                )
+            with self._dispatch_lock:
+                return backend.compare_pairs(
+                    list(request.pairs), request.launch_config()
+                )
+        finally:
+            if throwaway:
+                backend.close()
+
+    def _run_sets(self, request: CompareRequest) -> CompareResult:
+        from repro.index.join import mbr_pair_join
+
+        set_a, set_b = list(request.set_a), list(request.set_b)
+        start = time.perf_counter()
+        join = mbr_pair_join(set_a, set_b)
+        areas = self._run_pairs(
+            CompareRequest.from_pairs(
+                join.pairs(set_a, set_b), request.options
+            )
+        )
+        pw = jaccard_from_areas(
+            areas, join.left_idx, join.right_idx, len(set_a), len(set_b)
+        )
+        return CompareResult.from_pairwise(
+            pw, wall_seconds=time.perf_counter() - start
+        )
+
+    def _run_files(self, request: CompareRequest) -> CompareResult:
+        from repro.pipeline.device import GpuDevice
+        from repro.pipeline.engine import run_pipelined
+
+        options = request.options
+        backend, throwaway = self._backend_for(options)
+        try:
+            # The session's warm executor *is* the pipeline's aggregator
+            # device: lifecycle stays owned here, the pipeline only
+            # borrows the instance for the run.
+            device = GpuDevice(backend_instance=backend)
+            outcome = run_pipelined(
+                request.dir_a,
+                request.dir_b,
+                options.pipeline_options(devices=[device]),
+            )
+        finally:
+            if throwaway:
+                backend.close()
+        return CompareResult.from_outcome(outcome)
+
+    # ------------------------------------------------------------------
+    # Front-door methods (thin wrappers building the same request spec)
+    # ------------------------------------------------------------------
+    def compare(
+        self, pairs: Sequence[Pair], options: CompareOptions | None = None
+    ) -> BatchAreas:
+        """Exact areas for explicit candidate pairs, in input order."""
+        self._check_open()
+        return self.run(
+            CompareRequest.from_pairs(pairs, self._options_for(options))
+        )
+
+    def compare_sets(
+        self,
+        set_a,
+        set_b,
+        options: CompareOptions | None = None,
+    ) -> CompareResult:
+        """Cross-compare two in-memory polygon sets (one tile)."""
+        self._check_open()
+        return self.run(
+            CompareRequest.from_sets(set_a, set_b, self._options_for(options))
+        )
+
+    def compare_files(
+        self,
+        dir_a: str | Path,
+        dir_b: str | Path,
+        options: CompareOptions | None = None,
+    ) -> CompareResult:
+        """Cross-compare two on-disk result sets with the SCCG pipeline."""
+        self._check_open()
+        return self.run(
+            CompareRequest.from_files(dir_a, dir_b, self._options_for(options))
+        )
+
+    # ------------------------------------------------------------------
+    # Async + incremental
+    # ------------------------------------------------------------------
+    async def submit(
+        self, pairs: Sequence[Pair], options: CompareOptions | None = None
+    ) -> BatchAreas:
+        """Async :meth:`compare`: the launch runs off the event loop.
+
+        One session backend serves one launch at a time — concurrent
+        ``submit`` calls serialize on the session's dispatch lock (the
+        exclusive-device contract).  For high-concurrency serving with
+        admission control and coalescing, use
+        :class:`repro.ComparisonService`.
+        """
+        self._check_open()
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            None, functools.partial(self.compare, list(pairs), options)
+        )
+
+    def stream(
+        self,
+        pairs: Sequence[Pair],
+        options: CompareOptions | None = None,
+        shard_pairs: int | None = None,
+    ) -> Iterator[PairOutcome]:
+        """Yield per-pair results incrementally as shards complete.
+
+        The request is cut into cost-model-sized shards (overridable
+        with ``shard_pairs``); each shard is one backend launch, and its
+        pairs are yielded in input order as soon as it returns.  Chunk
+        boundaries never change results (the kernel's shard-invariance
+        guarantee), so consuming the whole stream equals one
+        :meth:`compare` call bit for bit.
+        """
+        pair_list, opts, shard_pairs = self._stream_plan(
+            pairs, options, shard_pairs
+        )
+        for lo in range(0, len(pair_list), shard_pairs):
+            areas = self.compare(pair_list[lo : lo + shard_pairs], opts)
+            yield from self._shard_outcomes(lo, areas)
+
+    async def stream_async(
+        self,
+        pairs: Sequence[Pair],
+        options: CompareOptions | None = None,
+        shard_pairs: int | None = None,
+    ) -> AsyncIterator[PairOutcome]:
+        """Async variant of :meth:`stream` (shards run off the loop)."""
+        pair_list, opts, shard_pairs = self._stream_plan(
+            pairs, options, shard_pairs
+        )
+        loop = asyncio.get_running_loop()
+        for lo in range(0, len(pair_list), shard_pairs):
+            areas = await loop.run_in_executor(
+                None,
+                functools.partial(
+                    self.compare, pair_list[lo : lo + shard_pairs], opts
+                ),
+            )
+            for outcome in self._shard_outcomes(lo, areas):
+                yield outcome
+
+    def _stream_plan(
+        self,
+        pairs: Sequence[Pair],
+        options: CompareOptions | None,
+        shard_pairs: int | None,
+    ) -> tuple[list[Pair], CompareOptions, int]:
+        """Shared setup of both stream variants (validated shard size)."""
+        self._check_open()
+        opts = self._options_for(options)
+        pair_list = list(pairs)
+        if shard_pairs is None:
+            shard_pairs = self._stream_shard_pairs(pair_list, opts)
+        if shard_pairs < 1:
+            raise RequestError(
+                f"shard_pairs must be >= 1, got {shard_pairs}"
+            )
+        return pair_list, opts, shard_pairs
+
+    @staticmethod
+    def _shard_outcomes(lo: int, areas: BatchAreas) -> Iterator[PairOutcome]:
+        for i in range(len(areas)):
+            yield PairOutcome(
+                index=lo + i,
+                intersection=int(areas.intersection[i]),
+                union=int(areas.union[i]),
+                area_p=int(areas.area_p[i]),
+                area_q=int(areas.area_q[i]),
+            )
+
+    def _stream_shard_pairs(
+        self, pairs: list[Pair], options: CompareOptions
+    ) -> int:
+        """Cost-model shard size for one incremental stream."""
+        if not pairs:
+            return 1
+        from repro.backends.auto import profile_pairs
+        from repro.gpu.cost import recommend_shard_pairs
+
+        cfg = options.launch_config()
+        mean_edges, mean_pixels = profile_pairs(pairs)
+        return recommend_shard_pairs(
+            len(pairs), mean_edges, mean_pixels, cfg.threshold, cfg.block_size
+        )
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def explain(self, request: CompareRequest) -> ResolvedPlan:
+        """Resolve ``request`` into its plan without executing it."""
+        return _explain(request)

@@ -1,5 +1,6 @@
 """Tests for the top-level API, the CLI, and experiment smoke runs."""
 
+import json
 import os
 
 import pytest
@@ -14,7 +15,8 @@ from repro.metrics.jaccard import jaccard_pairwise
 class TestApi:
     def test_cross_compare_in_memory(self, tile_pair):
         a, b = tile_pair
-        result = cross_compare(a, b)
+        with pytest.deprecated_call():
+            result = cross_compare(a, b)
         pw = jaccard_pairwise(a, b)
         assert result.jaccard_mean == pytest.approx(pw.mean_ratio)
         assert result.intersecting_pairs == pw.intersecting_pairs
@@ -22,7 +24,8 @@ class TestApi:
 
     def test_cross_compare_files(self, small_dataset):
         dir_a, dir_b = small_dataset
-        result = cross_compare_files(dir_a, dir_b)
+        with pytest.deprecated_call():
+            result = cross_compare_files(dir_a, dir_b)
         assert 0.3 < result.jaccard_mean < 1.0
         assert result.tiles == 4
 
@@ -30,6 +33,7 @@ class TestApi:
         import repro
 
         assert callable(repro.cross_compare)
+        assert callable(repro.Session)
         with pytest.raises(AttributeError):
             _ = repro.not_a_symbol
 
@@ -49,6 +53,45 @@ class TestCli:
         dir_a, dir_b = small_dataset
         assert main(["compare", str(dir_a), str(dir_b), "--no-migration"]) == 0
         assert "J' =" in capsys.readouterr().out
+
+    def test_backends_json(self, capsys):
+        assert main(["backends", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        names = {entry["name"] for entry in listing}
+        assert {"batch", "multiprocess", "cluster", "auto"} <= names
+        for entry in listing:
+            assert "description" in entry
+            caps = entry["capabilities"]
+            assert set(caps) >= {
+                "persistent_pooling", "stateful_lifecycle",
+                "configurable_workers", "max_workers", "remote", "notes",
+            }
+
+    def test_explain_command(self, tmp_path, capsys):
+        spec = {
+            "kind": "pairs",
+            "pairs": [[
+                "POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+                "POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))",
+            ]],
+            "options": {"backend": "auto"},
+        }
+        path = tmp_path / "request.json"
+        path.write_text(json.dumps(spec))
+        assert main(["explain", str(path)]) == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["backend"] == "auto"
+        assert plan["resolved_backend"] in (
+            "batch", "vectorized", "multiprocess"
+        )
+        assert plan["workload"]["n_pairs"] == 1
+
+    def test_explain_command_bad_spec(self, tmp_path, capsys):
+        path = tmp_path / "request.json"
+        path.write_text(json.dumps({"kind": "pairs"}))
+        assert main(["explain", str(path)]) == 1
+        assert "does not resolve" in capsys.readouterr().err
+        assert main(["explain", str(tmp_path / "missing.json")]) == 1
 
     def test_unknown_experiment(self):
         with pytest.raises(ExperimentError):

@@ -1,0 +1,72 @@
+"""The public-surface guard runs green against the checked-in manifest.
+
+Mirrors the CI step (``python tools/check_api_surface.py``) so a surface
+drift fails the tier-1 suite locally too, and exercises the tool's own
+diff logic on synthetic drift.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "check_api_surface", REPO_ROOT / "tools" / "check_api_surface.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_api_surface_matches_manifest(capsys):
+    tool = _load_tool()
+    assert tool.main([]) == 0, capsys.readouterr().out
+    out = capsys.readouterr().out
+    assert "api surface intact" in out
+
+
+def test_manifest_is_checked_in():
+    manifest = REPO_ROOT / "tools" / "api_surface.json"
+    assert manifest.exists(), "run `python tools/check_api_surface.py --update`"
+
+
+def test_diff_reports_removals_and_changes():
+    tool = _load_tool()
+    expected = {
+        "m": {
+            "gone": {"kind": "function", "signature": "()"},
+            "changed": {"kind": "function", "signature": "(a)"},
+            "same": {"kind": "function", "signature": "(x)"},
+        }
+    }
+    actual = {
+        "m": {
+            "changed": {"kind": "function", "signature": "(a, b)"},
+            "same": {"kind": "function", "signature": "(x)"},
+            "added": {"kind": "function", "signature": "()"},
+        }
+    }
+    problems = "\n".join(tool.diff(expected, actual))
+    assert "m.gone: removed" in problems
+    assert "m.changed: signature changed" in problems
+    assert "m.added: added" in problems
+    assert "same" not in problems
+
+
+def test_snapshot_covers_the_front_door():
+    tool = _load_tool()
+    src = str(REPO_ROOT / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+    surface = tool.snapshot()
+    assert "Session" in surface["repro.api"]
+    assert "CompareRequest" in surface["repro.api"]
+    assert "explain" in surface["repro.api"]
+    assert "cross_compare" in surface["repro.api"]
+    assert surface["repro.api"]["Session"]["kind"] == "class"
+    assert "compare_files" in surface["repro.api"]["Session"]["methods"]

@@ -1,0 +1,386 @@
+"""Tests for the session-centric front door.
+
+Covers the three contract families of :class:`repro.Session`:
+
+* **lifecycle** — lazy backend resolution, ``warm()``, idempotent
+  ``close()``, a clear error on reuse-after-close, and no leaked worker
+  processes or shared-memory segments once a session is closed;
+* **parity** — session results are bit-for-bit equal to the legacy
+  metrics-layer path on *every* registry backend (cluster included),
+  and the incremental/async entry points equal the synchronous one;
+* **deprecation shims** — ``cross_compare`` / ``cross_compare_files``
+  emit :class:`DeprecationWarning` and return bit-for-bit identical
+  results to the session API.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import time
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    CompareOptions,
+    CompareRequest,
+    Session,
+    cross_compare,
+    cross_compare_files,
+    explain,
+)
+from repro.backends import available_backends
+from repro.errors import RequestError, SessionClosedError
+from repro.geometry.box import Box
+from repro.geometry.polygon import RectilinearPolygon
+from repro.metrics.jaccard import jaccard_pairwise
+
+
+def _square(x: int, y: int, side: int = 6) -> RectilinearPolygon:
+    return RectilinearPolygon.from_box(Box(x, y, x + side, y + side))
+
+
+PAIRS = [
+    (_square(0, 0), _square(3, 3)),
+    (_square(0, 0), _square(100, 100)),
+    (_square(0, 0, 12), _square(2, 2, 3)),
+    (_square(5, 5), _square(5, 5)),
+]
+
+
+def _assert_no_worker_processes(timeout: float = 5.0) -> None:
+    """Every pooled worker process has exited (post-close invariant)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not multiprocessing.active_children():
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        f"leaked worker processes: {multiprocessing.active_children()}"
+    )
+
+
+class TestLifecycle:
+    def test_backend_resolved_lazily(self):
+        session = Session(CompareOptions(backend="vectorized"))
+        assert session._backend is None
+        _ = session.backend
+        assert session._backend is not None
+        session.close()
+
+    def test_context_manager_closes(self):
+        with Session() as session:
+            session.compare(PAIRS)
+            assert not session.closed
+        assert session.closed
+
+    def test_double_close_is_safe(self):
+        session = Session()
+        session.compare(PAIRS)
+        session.close()
+        session.close()  # idempotent
+
+    def test_reuse_after_close_raises_clearly(self):
+        session = Session()
+        session.close()
+        with pytest.raises(SessionClosedError, match="closed"):
+            session.compare(PAIRS)
+        with pytest.raises(SessionClosedError):
+            session.compare_files("a", "b")
+        with pytest.raises(SessionClosedError):
+            _ = session.backend
+
+    def test_close_releases_multiprocess_pool(self):
+        options = CompareOptions(
+            backend="multiprocess", backend_options={"min_pairs": 1}
+        )
+        with Session(options) as session:
+            areas = session.compare(PAIRS)
+            assert len(areas) == len(PAIRS)
+        _assert_no_worker_processes()
+
+    def test_warm_prespawns_and_close_reaps(self):
+        options = CompareOptions(
+            backend="multiprocess", backend_options={"min_pairs": 1}
+        )
+        session = Session(options).warm()
+        assert multiprocessing.active_children()  # pool is up
+        session.close()
+        _assert_no_worker_processes()
+
+    def test_session_overrides_shorthand(self):
+        session = Session(backend="scalar")
+        assert session.options.backend == "scalar"
+        session.close()
+
+    def test_invalid_backend_fails_on_first_use(self):
+        session = Session(backend="not-a-backend")
+        from repro.errors import KernelError
+
+        with pytest.raises(KernelError, match="unknown backend"):
+            session.compare(PAIRS)
+        session.close()
+
+
+class TestParity:
+    """Session results == legacy metrics path, on every backend."""
+
+    @pytest.mark.parametrize("backend", sorted(available_backends()))
+    def test_compare_sets_matches_legacy_path(self, backend, tile_pair):
+        set_a, set_b = tile_pair
+        legacy = jaccard_pairwise(set_a, set_b, backend=backend)
+        with Session(backend=backend) as session:
+            result = session.compare_sets(set_a, set_b)
+        assert result.jaccard_mean == legacy.mean_ratio  # bit-for-bit
+        assert result.intersecting_pairs == legacy.intersecting_pairs
+        assert result.candidate_pairs == legacy.candidate_pairs
+        assert result.missing_a == legacy.missing_a
+        assert result.missing_b == legacy.missing_b
+
+    def test_stream_equals_compare(self):
+        with Session() as session:
+            whole = session.compare(PAIRS)
+            streamed = list(session.stream(PAIRS, shard_pairs=2))
+        assert [o.index for o in streamed] == list(range(len(PAIRS)))
+        np.testing.assert_array_equal(
+            [o.intersection for o in streamed], whole.intersection
+        )
+        np.testing.assert_array_equal(
+            [o.union for o in streamed], whole.union
+        )
+        np.testing.assert_array_equal(
+            [o.area_p for o in streamed], whole.area_p
+        )
+        np.testing.assert_array_equal(
+            [o.area_q for o in streamed], whole.area_q
+        )
+
+    def test_stream_sizes_shards_from_cost_model(self):
+        with Session() as session:
+            streamed = list(session.stream(PAIRS))
+        assert len(streamed) == len(PAIRS)
+        with Session() as session:
+            assert list(session.stream([])) == []
+        with Session() as session:
+            with pytest.raises(RequestError):
+                list(session.stream(PAIRS, shard_pairs=0))
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_stream_async_validates_shard_pairs(self, bad):
+        async def go():
+            with Session() as session:
+                async for _ in session.stream_async(PAIRS, shard_pairs=bad):
+                    pass
+
+        with pytest.raises(RequestError):
+            asyncio.run(go())
+
+    def test_submit_async_equals_compare(self):
+        async def go():
+            with Session() as session:
+                return await session.submit(PAIRS)
+
+        areas = asyncio.run(go())
+        with Session() as session:
+            expected = session.compare(PAIRS)
+        np.testing.assert_array_equal(areas.intersection, expected.intersection)
+        np.testing.assert_array_equal(areas.union, expected.union)
+
+    def test_stream_async_equals_compare(self):
+        async def go():
+            out = []
+            with Session() as session:
+                async for outcome in session.stream_async(
+                    PAIRS, shard_pairs=3
+                ):
+                    out.append(outcome)
+            return out
+
+        streamed = asyncio.run(go())
+        with Session() as session:
+            whole = session.compare(PAIRS)
+        np.testing.assert_array_equal(
+            [o.intersection for o in streamed], whole.intersection
+        )
+
+    def test_run_dispatches_on_kind(self, tile_pair):
+        set_a, set_b = tile_pair
+        with Session() as session:
+            by_run = session.run(CompareRequest.from_sets(set_a, set_b))
+            direct = session.compare_sets(set_a, set_b)
+        assert by_run.jaccard_mean == direct.jaccard_mean
+        assert by_run.intersecting_pairs == direct.intersecting_pairs
+
+    def test_per_call_options_override_session(self):
+        with Session(backend="batch") as session:
+            a = session.compare(PAIRS, CompareOptions(backend="scalar"))
+            b = session.compare(PAIRS)
+        np.testing.assert_array_equal(a.intersection, b.intersection)
+        np.testing.assert_array_equal(a.union, b.union)
+
+
+class TestCompareFiles:
+    def test_session_files_matches_legacy_bit_for_bit(self, small_dataset):
+        dir_a, dir_b = small_dataset
+        with Session() as session:
+            result = session.compare_files(dir_a, dir_b)
+        with pytest.deprecated_call():
+            legacy = cross_compare_files(dir_a, dir_b)
+        # Per-pair areas are exact integers on every path; the mean's
+        # float summation order follows tile completion order (threaded
+        # pipeline), so it is reproducible only to rounding.
+        assert result.jaccard_mean == pytest.approx(
+            legacy.jaccard_mean, rel=1e-12
+        )
+        assert result.intersecting_pairs == legacy.intersecting_pairs
+        assert result.candidate_pairs == legacy.candidate_pairs
+        assert result.missing_a == legacy.missing_a
+        assert result.missing_b == legacy.missing_b
+        assert result.tiles == legacy.tiles
+        # The session result additionally reports performance accounting.
+        assert result.wall_seconds > 0
+        assert result.input_bytes > 0
+        assert result.throughput > 0
+
+    def test_files_request_honors_every_pipeline_knob(self, small_dataset):
+        dir_a, dir_b = small_dataset
+        options = CompareOptions(
+            buffer_capacity=2, batch_pairs=64, migration=True,
+            parser_workers=1,
+        )
+        with Session(options) as session:
+            migrated = session.compare_files(dir_a, dir_b)
+        with Session() as session:
+            plain = session.compare_files(dir_a, dir_b)
+        # Migration and pipeline shape are performance knobs, never
+        # semantics: integer aggregates agree exactly; the float mean's
+        # summation order follows batch/tile completion order.
+        assert migrated.intersecting_pairs == plain.intersecting_pairs
+        assert migrated.candidate_pairs == plain.candidate_pairs
+        assert migrated.missing_a == plain.missing_a
+        assert migrated.missing_b == plain.missing_b
+        assert migrated.jaccard_mean == pytest.approx(
+            plain.jaccard_mean, rel=1e-12
+        )
+
+
+class TestDeprecationShims:
+    def test_cross_compare_warns_and_matches(self, tile_pair):
+        set_a, set_b = tile_pair
+        with Session() as session:
+            result = session.compare_sets(set_a, set_b)
+        with pytest.deprecated_call():
+            legacy = cross_compare(set_a, set_b)
+        assert legacy.jaccard_mean == result.jaccard_mean
+        assert legacy.intersecting_pairs == result.intersecting_pairs
+        assert legacy.candidate_pairs == result.candidate_pairs
+        assert legacy.missing_a == result.missing_a
+        assert legacy.missing_b == result.missing_b
+
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized", "batch"])
+    def test_cross_compare_backend_kwarg_still_works(self, backend):
+        set_a = [p for p, _ in PAIRS]
+        set_b = [q for _, q in PAIRS]
+        with pytest.deprecated_call():
+            legacy = cross_compare(set_a, set_b, backend=backend)
+        reference = jaccard_pairwise(set_a, set_b, backend=backend)
+        assert legacy.jaccard_mean == reference.mean_ratio
+
+    def test_cross_compare_files_warns(self, small_dataset):
+        dir_a, dir_b = small_dataset
+        with pytest.deprecated_call():
+            cross_compare_files(dir_a, dir_b, parser_workers=1)
+
+    def test_lazy_top_level_exports(self):
+        import repro
+
+        assert repro.Session is Session
+        assert callable(repro.cross_compare)
+        assert repro.CompareOptions is CompareOptions
+        with pytest.raises(AttributeError):
+            _ = repro.not_a_symbol
+
+
+class TestExplain:
+    def test_explain_does_not_execute(self):
+        request = CompareRequest.from_pairs(
+            PAIRS,
+            CompareOptions(
+                backend="multiprocess", backend_options={"min_pairs": 1}
+            ),
+        )
+        session = Session()
+        plan = session.explain(request)
+        # Planning must not spawn workers or resolve the session backend.
+        assert session._backend is None
+        assert not multiprocessing.active_children()
+        session.close()
+        assert plan.kind == "pairs"
+        assert plan.backend == "multiprocess"
+        assert plan.resolved_backend == "multiprocess"
+        assert plan.n_pairs == len(PAIRS)
+        assert plan.shard_pairs is not None
+        assert plan.capabilities["configurable_workers"] is True
+        assert plan.launch["tight_mbr"] is True
+
+    def test_explain_resolves_auto(self):
+        plan = explain(
+            CompareRequest.from_pairs(PAIRS, CompareOptions(backend="auto"))
+        )
+        assert plan.backend == "auto"
+        assert plan.resolved_backend in ("batch", "vectorized", "multiprocess")
+        assert plan.coalesce_pairs >= 64
+
+    def test_explain_cluster_reports_hosts(self):
+        plan = explain(
+            CompareRequest.from_pairs(
+                PAIRS,
+                CompareOptions(backend="cluster", hosts="h1:9001,h2:9002"),
+            )
+        )
+        assert plan.hosts == ("h1:9001", "h2:9002")
+        assert not multiprocessing.active_children()
+
+    def test_explain_cluster_loopback_note(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CLUSTER_HOSTS", raising=False)
+        plan = explain(
+            CompareRequest.from_pairs(PAIRS, CompareOptions(backend="cluster"))
+        )
+        assert plan.hosts == ("loopback",)
+        assert any("loopback" in note for note in plan.notes)
+
+    def test_explain_files_counts_tiles(self, small_dataset):
+        dir_a, dir_b = small_dataset
+        plan = explain(CompareRequest.from_files(dir_a, dir_b))
+        assert plan.kind == "files"
+        assert plan.tiles == 4
+        assert plan.n_pairs is None
+
+    def test_explain_sets_profiles_workload(self, tile_pair):
+        set_a, set_b = tile_pair
+        plan = explain(CompareRequest.from_sets(set_a, set_b))
+        assert plan.kind == "sets"
+        assert plan.n_pairs > 0
+        assert plan.mean_edges > 0
+
+    def test_explain_rejects_bad_spec(self):
+        from repro.errors import KernelError
+
+        with pytest.raises(KernelError):
+            explain(
+                CompareRequest.from_pairs(
+                    PAIRS, CompareOptions(backend="no-such-backend")
+                )
+            )
+        with pytest.raises(KernelError):
+            # batch takes no worker option; explain surfaces the named
+            # registry error instead of executing and failing later.
+            explain(
+                CompareRequest.from_pairs(
+                    PAIRS,
+                    CompareOptions(
+                        backend="batch", backend_options={"workers": 4}
+                    ),
+                )
+            )
