@@ -1,12 +1,17 @@
-"""Backend-scaling benchmark: scalar vs vectorized vs multiprocess.
+"""Backend-scaling benchmark: scalar vs vectorized vs multiprocess vs numba.
 
 Tracks the execution-backend layer's speedups in the perf trajectory:
-the vectorized engine's gain over the scalar baseline, and the
-multiprocess backend's scaling at 1/2/4 workers.  The acceptance bar is
-the multiprocess backend at 4 workers beating the scalar engine by >= 2x
-on the same pathology-scale workload (every backend computes identical
-results, which the parity suite asserts separately — this file only
-times them).
+the vectorized engine's gain over the scalar baseline, the multiprocess
+backend's scaling at 1/2/4 workers, and — where the ``repro[numba]``
+extra is installed — the compiled substrate breaking the NumPy ceiling.
+Acceptance bars: multiprocess at 4 workers >= 2x over scalar, vectorized
+>= 2x over scalar, and the compiled kernel >= 5x over vectorized (every
+backend computes identical results, which the parity suite asserts
+separately — this file only times them).
+
+Alongside the rendered table, ``BENCH_backend_scaling.json`` records
+pairs/second per backend machine-readably; CI uploads the reports
+directory as an artifact, so the trajectory is diffable across runs.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from __future__ import annotations
 import os
 import time
 
-from repro.backends import get_backend
+from repro.backends import backend_availability, get_backend
 from repro.data.synth import generate_tile_pair
 from repro.index.join import mbr_pair_join
 
@@ -44,8 +49,9 @@ def _time_backend(backend, pairs, repeats: int = 3) -> float:
     return best
 
 
-def test_backend_scaling(benchmark, save_report):
+def test_backend_scaling(benchmark, save_report, save_json):
     pairs = _workload()
+    numba_ready = backend_availability("numba") is None
 
     def run():
         rows = []
@@ -61,12 +67,17 @@ def test_backend_scaling(benchmark, save_report):
             rows.append(
                 ("multiprocess", workers, mp_s, scalar_s / mp_s)
             )
+        if numba_ready:
+            with get_backend("numba") as compiled:
+                compiled.warm()  # JIT compilation, excluded from timing
+                numba_s = _time_backend(compiled, pairs)
+            rows.append(("numba", 1, numba_s, scalar_s / numba_s))
         return rows
 
     rows = benchmark.pedantic(run, rounds=1, iterations=1)
 
     lines = [
-        "Backend scaling - scalar vs vectorized vs multiprocess "
+        "Backend scaling - scalar vs vectorized vs multiprocess vs numba "
         f"({len(pairs)} pairs, {os.cpu_count()} host core(s))",
         f"{'backend':14s} {'workers':>7s} {'seconds':>9s} {'vs scalar':>10s}",
     ]
@@ -74,8 +85,33 @@ def test_backend_scaling(benchmark, save_report):
         lines.append(
             f"{name:14s} {workers:7d} {seconds:9.3f} {speedup:9.1f}x"
         )
+    if not numba_ready:
+        lines.append(
+            "numba                 -         -         -  "
+            "(repro[numba] extra not installed)"
+        )
     save_report("backend_scaling", "\n".join(lines))
 
+    save_json(
+        "BENCH_backend_scaling",
+        {
+            "n_pairs": len(pairs),
+            "host_cores": os.cpu_count(),
+            "numba_available": numba_ready,
+            "backends": [
+                {
+                    "backend": name,
+                    "workers": workers,
+                    "seconds": seconds,
+                    "pairs_per_second": len(pairs) / seconds,
+                    "speedup_vs_scalar": speedup,
+                }
+                for name, workers, seconds, speedup in rows
+            ],
+        },
+    )
+
+    seconds = {(name, workers): s for name, workers, s, _ in rows}
     speedups = {(name, workers): s for name, workers, _, s in rows}
     # The acceptance bar: multiprocess at 4 workers >= 2x over scalar.
     # (Worker-vs-worker scaling is only visible on multi-core hosts; on
@@ -85,3 +121,9 @@ def test_backend_scaling(benchmark, save_report):
     # The array engine is the point of the exercise; it must crush the
     # scalar baseline on its own.
     assert speedups[("vectorized", 1)] >= 2.0
+    if numba_ready:
+        # The compiled substrate's reason to exist: break the ceiling
+        # the NumPy array programs plateau at.
+        assert (
+            seconds[("vectorized", 1)] / seconds[("numba", 1)] >= 5.0
+        )

@@ -38,12 +38,16 @@ def main() -> None:
     # Every execution backend computes the same bits; pick one with
     # CompareOptions (or from the shell:
     # `python -m repro compare A B --backend auto`).
-    from repro.backends import available_backends
+    from repro.backends import available_backends, backend_availability
 
     print()
     for backend in available_backends():
         if backend == "simt":
             continue  # the pure-Python replay is slow at tile scale
+        reason = backend_availability(backend)
+        if reason is not None:
+            print(f"backend {backend:12s}: skipped ({reason})")
+            continue
         with Session(CompareOptions(backend=backend)) as session:
             routed = session.compare_sets(result_a, result_b)
         print(f"backend {backend:12s}: J'={routed.jaccard_mean:.4f}")

@@ -220,6 +220,7 @@ def explain(request: CompareRequest) -> ResolvedPlan:
             calibration=cal,
         )
         if resolved in ("multiprocess", "cluster"):
+            substrate = options.backend_options.get("substrate", "numpy")
             shard = recommend_shard_pairs(
                 n_pairs,
                 mean_edges,
@@ -228,6 +229,7 @@ def explain(request: CompareRequest) -> ResolvedPlan:
                 cfg.block_size,
                 workers=max(1, workers),
                 calibration=cal,
+                substrate=substrate,
             )
 
     hosts: tuple[str, ...] = ()

@@ -22,6 +22,9 @@ seam that makes the claim structural instead of incidental:
   ``cluster``      shards on remote ``repro worker`` processes over the
                    binary wire protocol (loopback workers when no hosts
                    are configured)
+  ``numba``        compiled chunk kernel (``@njit(parallel=True)``),
+                   available when the ``repro[numba]`` extra is
+                   installed
   ===============  ====================================================
 
 * consumers — the pipeline aggregator (:class:`repro.pipeline.device.GpuDevice`),
@@ -44,17 +47,20 @@ from repro.backends.base import (
     BackendCapabilities,
     BackendLifecycle,
     available_backends,
+    backend_availability,
     backend_registry,
     get_backend,
     register,
 )
 
 # Import for registration side effects (each module self-registers; the
-# cluster coordinator registers through a lazy shim to stay cycle-free).
+# cluster coordinator and the numba backend register through lazy shims
+# so the registry lists them even when their dependency is absent).
 from repro.backends import auto as _auto  # noqa: E402,F401
 from repro.backends import batch as _batch  # noqa: E402,F401
 from repro.backends import cluster as _cluster  # noqa: E402,F401
 from repro.backends import multiprocess as _multiprocess  # noqa: E402,F401
+from repro.backends import numba_backend as _numba_backend  # noqa: E402,F401
 from repro.backends import scalar as _scalar  # noqa: E402,F401
 from repro.backends import simt as _simt  # noqa: E402,F401
 from repro.backends import vectorized as _vectorized  # noqa: E402,F401
@@ -68,6 +74,7 @@ __all__ = [
     "register",
     "get_backend",
     "available_backends",
+    "backend_availability",
     "backend_registry",
     "AutoBackend",
     "MultiprocessBackend",

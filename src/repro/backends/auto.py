@@ -41,23 +41,36 @@ def profile_pairs(pairs: Pairs) -> tuple[float, float]:
 
 @register("auto")
 class AutoBackend(BackendLifecycle):
-    """Cost-model dispatch between batch, vectorized, and multiprocess.
+    """Cost-model dispatch between batch, vectorized, multiprocess, numba.
 
     Delegate executors are instantiated once and cached, so a long-lived
     ``auto`` backend (the comparison service's warm pool) reuses them
     across calls; with ``persistent=True`` the multiprocess delegate
     keeps its worker pool warm too.  :meth:`close` releases every cached
     delegate.
+
+    ``calibration`` carries a per-owner cost profile into every
+    selection; ``None`` falls back to the process environment's profile
+    (``REPRO_COST_PROFILE``), resolved inside the recommender.  A
+    :class:`~repro.Session` with a ``cost_profile`` option passes its own
+    resolved profile here, so two sessions with different profiles make
+    different choices without touching any process-global state.
     """
 
     name = "auto"
     description = "cost-model dispatch (pair count + edge density -> backend)"
 
-    def __init__(self, workers: int | None = None, persistent: bool = False):
+    def __init__(
+        self,
+        workers: int | None = None,
+        persistent: bool = False,
+        calibration=None,
+    ):
         from repro.backends.multiprocess import default_workers
 
         self.workers = workers if workers is not None else default_workers()
         self.persistent = persistent
+        self.calibration = calibration
         self._delegates: dict[str, object] = {}
         #: Name chosen by the most recent :meth:`compare_pairs` call.
         self.last_choice: str | None = None
@@ -82,6 +95,7 @@ class AutoBackend(BackendLifecycle):
             cfg.threshold,
             cfg.block_size,
             workers=self.workers,
+            calibration=self.calibration,
         )
 
     def _delegate(self, choice: str):

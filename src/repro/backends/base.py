@@ -21,7 +21,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Protocol, runtime_checkable
 
-from repro.errors import KernelError
+from repro.errors import BackendError, KernelError
 from repro.geometry.polygon import RectilinearPolygon
 from repro.pixelbox.common import LaunchConfig
 from repro.pixelbox.engine import BatchAreas
@@ -34,6 +34,7 @@ __all__ = [
     "register",
     "get_backend",
     "available_backends",
+    "backend_availability",
     "backend_registry",
     "cover_mbr_config",
 ]
@@ -64,6 +65,10 @@ class BackendCapabilities:
         single-process executors).
     remote:
         Execution leaves this machine (network transport involved).
+    compiled:
+        The kernel sequence runs as machine code (JIT or AOT), not as
+        NumPy array programs — per-pair cost drops by the compiled
+        speedup the cost model calibrates.
     notes:
         One-line human hint (requirements, configuration source).
     """
@@ -73,6 +78,7 @@ class BackendCapabilities:
     configurable_workers: bool = False
     max_workers: int = 1
     remote: bool = False
+    compiled: bool = False
     notes: str = ""
 
     def as_dict(self) -> dict:
@@ -90,6 +96,8 @@ class BackendCapabilities:
             tags.append(f"workers<={self.max_workers}")
         if self.remote:
             tags.append("remote")
+        if self.compiled:
+            tags.append("compiled")
         return ",".join(tags) if tags else "stateless"
 
 
@@ -169,22 +177,50 @@ BackendFactory = Callable[..., Backend]
 
 _REGISTRY: dict[str, BackendFactory] = {}
 
+# Optional availability probes: name -> callable returning None when the
+# backend can run here, or a human-readable reason string when it cannot
+# (a missing optional dependency, typically).  Backends without a probe
+# are unconditionally available.
+_AVAILABILITY: dict[str, Callable[[], str | None]] = {}
 
-def register(name: str) -> Callable[[BackendFactory], BackendFactory]:
+
+def register(
+    name: str, *, availability: Callable[[], str | None] | None = None
+) -> Callable[[BackendFactory], BackendFactory]:
     """Class decorator adding a backend factory under ``name``.
 
     The decorated class (or factory callable) must produce objects
     satisfying the :class:`Backend` protocol when called with no
-    arguments.
+    arguments.  ``availability``, when given, is called before every
+    instantiation; returning a reason string makes :func:`get_backend`
+    raise a :class:`~repro.errors.BackendError` naming it instead of
+    surfacing an ``ImportError`` from deep inside the factory.
     """
 
     def deco(factory: BackendFactory) -> BackendFactory:
         if name in _REGISTRY:
             raise KernelError(f"backend {name!r} registered twice")
         _REGISTRY[name] = factory
+        if availability is not None:
+            _AVAILABILITY[name] = availability
         return factory
 
     return deco
+
+
+def backend_availability(name: str) -> str | None:
+    """``None`` when ``name`` can run here, else the reason it cannot.
+
+    Lets listings (``repro backends``) report an unavailable backend
+    without instantiating it — and without crashing on the attempt.
+    """
+    if name not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KernelError(
+            f"unknown backend {name!r} (registered: {known})"
+        )
+    probe = _AVAILABILITY.get(name)
+    return probe() if probe is not None else None
 
 
 def get_backend(name: str, **kwargs) -> Backend:
@@ -200,6 +236,13 @@ def get_backend(name: str, **kwargs) -> Backend:
         raise KernelError(
             f"unknown backend {name!r} (registered: {known})"
         ) from None
+    probe = _AVAILABILITY.get(name)
+    if probe is not None:
+        reason = probe()
+        if reason is not None:
+            raise BackendError(
+                f"backend {name!r} is unavailable: {reason}"
+            )
     try:
         return factory(**kwargs)
     except TypeError as exc:

@@ -182,15 +182,16 @@ def _compute_shard(
     hi: int,
     cfg: LaunchConfig,
     stats: KernelStats,
+    substrate: str = "numpy",
 ) -> np.ndarray:
     """Intersection areas for global pair indices ``[lo, hi)``.
 
     A thin adapter over :meth:`ChunkKernel.run_shard` under the shard
     policy — the exact plan+stacked-pixelize sequence every other
     executor runs, so sharding at any boundary preserves bit-for-bit
-    results *and* identical work counters.
+    results *and* identical work counters (on either substrate).
     """
-    kernel = ChunkKernel(shard_policy(), cfg)
+    kernel = ChunkKernel(shard_policy(substrate=substrate), cfg)
     inter, _ = kernel.run_shard(
         table_p, table_q, boxes, has_box, lo, hi, stats
     )
@@ -204,6 +205,7 @@ def _worker(
     hi: int,
     cfg: LaunchConfig,
     unregister: bool,
+    substrate: str = "numpy",
 ) -> tuple[int, np.ndarray, dict[str, int]]:
     """Pool task: attach, compute one shard, detach."""
     shm = _attach(shm_name, unregister)
@@ -219,6 +221,7 @@ def _worker(
             hi,
             cfg,
             stats,
+            substrate,
         )
         # Copy out: the view's backing segment dies with this task.
         return lo, np.array(inter, copy=True), stats.as_dict()
@@ -257,6 +260,11 @@ class MultiprocessBackend(BackendLifecycle):
         Keep one warm worker pool across ``compare_pairs`` calls instead
         of forking per call.  The owner is responsible for ``close()``
         (or using the backend as a context manager).
+    substrate:
+        What each shard executes on: ``"numpy"`` (default) or
+        ``"numba"`` — a shard runs the compiled chunk kernel inside its
+        worker process, composing process sharding with the compiled
+        substrate.  Requires the ``repro[numba]`` extra.
     """
 
     name = "multiprocess"
@@ -267,13 +275,24 @@ class MultiprocessBackend(BackendLifecycle):
         workers: int | None = None,
         min_pairs: int = 256,
         persistent: bool = False,
+        substrate: str = "numpy",
     ):
         resolved = default_workers() if workers is None else workers
         if resolved < 1:
             raise KernelError(f"workers must be >= 1, got {resolved}")
+        if substrate not in ("numpy", "numba"):
+            raise KernelError(
+                f"substrate must be 'numpy' or 'numba', got {substrate!r}"
+            )
+        if substrate == "numba":
+            # Fail at construction, not inside a worker process.
+            from repro.pixelbox import numba_kernel
+
+            numba_kernel.require_numba()
         self.workers = resolved
         self.min_pairs = min_pairs
         self.persistent = persistent
+        self.substrate = substrate
         self._pool: ProcessPoolExecutor | None = None
         self._pool_unregister = False
         self._pool_lock = threading.Lock()
@@ -284,6 +303,7 @@ class MultiprocessBackend(BackendLifecycle):
             stateful_lifecycle=True,
             configurable_workers=True,
             max_workers=self.workers,
+            compiled=self.substrate == "numba",
             notes="shared-memory pair shards; REPRO_WORKERS sets the default",
         )
 
@@ -347,14 +367,15 @@ class MultiprocessBackend(BackendLifecycle):
             zero = np.zeros(0, dtype=np.int64)
             return BatchAreas(zero, zero.copy(), zero.copy(), zero.copy(), stats)
 
-        kernel = ChunkKernel(shard_policy(), cfg)
+        kernel = ChunkKernel(shard_policy(substrate=self.substrate), cfg)
         a_p, a_q, boxes, has_box = kernel.route_pairs(pairs)
         table_p = EdgeTable.build([p for p, _ in pairs])
         table_q = EdgeTable.build([q for _, q in pairs])
 
         if self.workers == 1 or n < max(self.min_pairs, 2 * self.workers):
             inter = _compute_shard(
-                table_p, table_q, boxes, has_box, 0, n, cfg, stats
+                table_p, table_q, boxes, has_box, 0, n, cfg, stats,
+                self.substrate,
             )
         else:
             inter = self._run_pool(table_p, table_q, boxes, has_box, cfg, stats)
@@ -383,7 +404,8 @@ class MultiprocessBackend(BackendLifecycle):
             shm, manifest = _pack_arrays(arrays)
         except OSError:  # pragma: no cover - hosts without shm support
             return _compute_shard(
-                table_p, table_q, boxes, has_box, 0, n, cfg, stats
+                table_p, table_q, boxes, has_box, 0, n, cfg, stats,
+                self.substrate,
             )
         inter = np.zeros(n, dtype=np.int64)
         try:
@@ -412,8 +434,8 @@ class MultiprocessBackend(BackendLifecycle):
                 pass
         return inter
 
-    @staticmethod
     def _collect(
+        self,
         pool: ProcessPoolExecutor,
         shm: shared_memory.SharedMemory,
         manifest: dict[str, tuple[int, tuple, str]],
@@ -425,7 +447,10 @@ class MultiprocessBackend(BackendLifecycle):
     ) -> None:
         """Submit every shard to ``pool`` and gather slices into ``inter``."""
         futures = [
-            pool.submit(_worker, shm.name, manifest, lo, hi, cfg, unregister)
+            pool.submit(
+                _worker, shm.name, manifest, lo, hi, cfg, unregister,
+                self.substrate,
+            )
             for lo, hi in shards
         ]
         for future in futures:

@@ -161,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-tables", type=int, default=8,
         help="LRU bound on resident content-addressed table bundles",
     )
+    wrk.add_argument(
+        "--substrate", choices=("auto", "numpy", "numba"), default="auto",
+        help=(
+            "chunk-kernel substrate for shards (auto: compiled when the "
+            "repro[numba] extra is installed, NumPy otherwise)"
+        ),
+    )
 
     cal = sub.add_parser(
         "calibrate",
@@ -189,17 +196,28 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "backends":
-        from repro.backends import available_backends, get_backend
+        from repro.backends import (
+            available_backends,
+            backend_availability,
+            get_backend,
+        )
 
         if args.json:
             import json
 
             listing = []
             for name in available_backends():
+                reason = backend_availability(name)
+                if reason is not None:
+                    listing.append(
+                        {"name": name, "available": False, "reason": reason}
+                    )
+                    continue
                 backend = get_backend(name)
                 listing.append(
                     {
                         "name": name,
+                        "available": True,
                         "description": backend.description,
                         "capabilities": backend.capabilities().as_dict(),
                     }
@@ -208,6 +226,10 @@ def main(argv: list[str] | None = None) -> int:
             print(json.dumps(listing, indent=2))
             return 0
         for name in available_backends():
+            reason = backend_availability(name)
+            if reason is not None:
+                print(f"{name:14s} [{'unavailable':24s}] {reason}")
+                continue
             backend = get_backend(name)
             caps = backend.capabilities()
             print(f"{name:14s} [{caps.summary():24s}] {backend.description}")
@@ -321,7 +343,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.cluster import ShardWorker
 
         worker = ShardWorker(
-            host=args.host, port=args.port, max_tables=args.max_tables
+            host=args.host,
+            port=args.port,
+            max_tables=args.max_tables,
+            substrate=args.substrate,
         )
         worker._bind()
         host, port = worker.address
@@ -338,7 +363,7 @@ def main(argv: list[str] | None = None) -> int:
         profile = run_calibration(quick=args.quick)
         write_profile(profile, args.output)
         print(f"cost profile -> {args.output}")
-        print(f"  export REPRO_COST_PROFILE={args.output}")
+        print(f"  export REPRO_COST_PROFILE={args.output.resolve()}")
         return 0
 
     return 2  # pragma: no cover - argparse enforces the subcommands

@@ -62,14 +62,41 @@ class ShardWorker:
         LRU bound on resident table bundles.  Each bundle is one
         request's tables; a coordinator re-sends on ``missing-tables``,
         so eviction costs bandwidth, never correctness.
+    substrate:
+        What shards execute on: ``"auto"`` (default) uses the compiled
+        (numba) kernel when the extra is installed on this host and the
+        NumPy engines otherwise; ``"numpy"``/``"numba"`` pin it.
+        Results are bit-for-bit identical either way — only wall-clock
+        differs — so a heterogeneous cluster (some workers compiled,
+        some not) stays exact.
     """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 0, max_tables: int = 8
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_tables: int = 8,
+        substrate: str = "auto",
     ):
         if max_tables < 1:
             raise ReproError(f"max_tables must be >= 1, got {max_tables}")
+        if substrate not in ("auto", "numpy", "numba"):
+            raise ReproError(
+                f"substrate must be 'auto', 'numpy', or 'numba', got "
+                f"{substrate!r}"
+            )
+        if substrate == "auto":
+            from repro.backends.numba_backend import numba_unavailable_reason
+
+            substrate = (
+                "numba" if numba_unavailable_reason() is None else "numpy"
+            )
+        elif substrate == "numba":
+            from repro.pixelbox import numba_kernel
+
+            numba_kernel.require_numba()
         self.host = host
+        self.substrate = substrate
         self.max_tables = max_tables
         self._tables: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
         self._lock = threading.Lock()
@@ -319,7 +346,7 @@ class ShardWorker:
         cfg = wire.config_from_wire(header.get("config"))
         self._before_shard(header)
         stats = KernelStats()
-        kernel = ChunkKernel(shard_policy(), cfg)
+        kernel = ChunkKernel(shard_policy(substrate=self.substrate), cfg)
         inter, _ = kernel.run_shard(
             table_from_bundle(bundle, "p"),
             table_from_bundle(bundle, "q"),

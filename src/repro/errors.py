@@ -19,6 +19,7 @@ __all__ = [
     "QueryError",
     "CatalogError",
     "KernelError",
+    "BackendError",
     "DeviceError",
     "PipelineError",
     "BufferClosedError",
@@ -78,6 +79,11 @@ class CatalogError(ReproError):
 
 class KernelError(ReproError):
     """PixelBox kernel misconfiguration (bad threshold, empty batch, ...)."""
+
+
+class BackendError(KernelError):
+    """An execution backend cannot run here (e.g. its optional compiled
+    dependency is not installed); the message names the missing extra."""
 
 
 class DeviceError(ReproError):

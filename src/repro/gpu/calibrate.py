@@ -106,6 +106,40 @@ def _measure_dispatch_seconds(pairs, rounds: int) -> float:
     return best
 
 
+def _measure_compiled(pairs, repeats: int, cycles_per_second: float):
+    """``(speedup, warmup_cycles)`` of the compiled substrate, if present.
+
+    Returns ``None`` when the ``repro[numba]`` extra is not installed;
+    the profile then keeps the modeled defaults.  The first compiled
+    call pays JIT compilation — that wall time, bridged through the
+    cycles-per-second constant, is exactly the warm-up charge
+    ``recommend_backend`` amortizes against.
+    """
+    from repro.backends.numba_backend import numba_unavailable_reason
+
+    if numba_unavailable_reason() is not None:
+        return None
+    cfg = LaunchConfig()
+    with get_backend("numba") as compiled:
+        t0 = time.perf_counter()
+        compiled.compare_pairs(pairs[:2], cfg)  # JIT compilation happens here
+        warmup_seconds = time.perf_counter() - t0
+        best_compiled = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            compiled.compare_pairs(pairs, cfg)
+            best_compiled = min(best_compiled, time.perf_counter() - t0)
+    backend = get_backend("vectorized")
+    best_numpy = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        backend.compare_pairs(pairs, cfg)
+        best_numpy = min(best_numpy, time.perf_counter() - t0)
+    speedup = max(1.0, best_numpy / max(best_compiled, 1e-9))
+    warmup_cycles = max(1.0, warmup_seconds * cycles_per_second)
+    return speedup, warmup_cycles
+
+
 def run_calibration(quick: bool = False) -> CostCalibration:
     """Measure this host's constants; returns the fitted profile."""
     pairs = _calibration_workload(200 if quick else 1500)
@@ -122,12 +156,20 @@ def run_calibration(quick: bool = False) -> CostCalibration:
     dispatch_cycles = max(
         1.0, dispatch_seconds * cycles_per_second - probe_cycles
     )
+    compiled = _measure_compiled(pairs, repeats, cycles_per_second)
+    extra = {}
+    if compiled is not None:
+        extra = {
+            "compiled_speedup": compiled[0],
+            "compiled_warmup_cycles": compiled[1],
+        }
     return CostCalibration(
         cycles_per_second=cycles_per_second,
         process_spinup_cycles=max(1.0, spinup_seconds * cycles_per_second),
         shard_dispatch_cycles=dispatch_cycles,
         source=f"{platform.node()} {time.strftime('%Y-%m-%d')} "
         f"({'quick' if quick else 'full'})",
+        **extra,
     )
 
 

@@ -31,6 +31,7 @@ __all__ = [
     "CostCalibration",
     "CycleBreakdown",
     "estimate_comparison_cycles",
+    "compiled_substrate_available",
     "recommend_backend",
     "recommend_batch_pairs",
     "recommend_shard_pairs",
@@ -191,6 +192,16 @@ class CostModel:
 # when absent they fall back to the modeled values, so calibration is an
 # accuracy upgrade, never a dependency.
 
+# Modeled speedup of the compiled (numba) substrate over the NumPy
+# engines: machine code over the same plan trades array-program overhead
+# for tight loops across all cores.  Calibration replaces it with the
+# measured ratio on hosts that have the extra installed.
+_COMPILED_SPEEDUP = 8.0
+# First use of the compiled kernel pays JIT compilation (or cache load);
+# a workload must dwarf that charge before "numba" is worth recommending.
+_COMPILED_WARMUP_CYCLES = 1.0e9
+_COMPILED_AMORTIZATION = 2.0
+
 
 @dataclass(frozen=True, slots=True)
 class CostCalibration:
@@ -207,6 +218,12 @@ class CostCalibration:
     shard_dispatch_cycles:
         Measured per-shard remote dispatch overhead (serialize + RTT +
         scheduling), in modeled cycles.
+    compiled_speedup:
+        Measured throughput ratio of the compiled (numba) substrate over
+        the vectorized engine on this host (modeled default when the
+        extra was absent during calibration).
+    compiled_warmup_cycles:
+        Measured JIT warm-up of the compiled kernel, in modeled cycles.
     source:
         Provenance note (host, date) carried from the profile.
     """
@@ -214,6 +231,8 @@ class CostCalibration:
     cycles_per_second: float
     process_spinup_cycles: float
     shard_dispatch_cycles: float
+    compiled_speedup: float = _COMPILED_SPEEDUP
+    compiled_warmup_cycles: float = _COMPILED_WARMUP_CYCLES
     source: str = "calibrated"
 
     def as_dict(self) -> dict:
@@ -221,6 +240,8 @@ class CostCalibration:
             "cycles_per_second": self.cycles_per_second,
             "process_spinup_cycles": self.process_spinup_cycles,
             "shard_dispatch_cycles": self.shard_dispatch_cycles,
+            "compiled_speedup": self.compiled_speedup,
+            "compiled_warmup_cycles": self.compiled_warmup_cycles,
             "source": self.source,
         }
 
@@ -236,6 +257,12 @@ def load_calibration(path: str | Path) -> CostCalibration:
             cycles_per_second=float(raw["cycles_per_second"]),
             process_spinup_cycles=float(raw["process_spinup_cycles"]),
             shard_dispatch_cycles=float(raw["shard_dispatch_cycles"]),
+            compiled_speedup=float(
+                raw.get("compiled_speedup", _COMPILED_SPEEDUP)
+            ),
+            compiled_warmup_cycles=float(
+                raw.get("compiled_warmup_cycles", _COMPILED_WARMUP_CYCLES)
+            ),
             source=str(raw.get("source", str(path))),
         )
     except (KeyError, TypeError, ValueError) as exc:
@@ -244,6 +271,8 @@ def load_calibration(path: str | Path) -> CostCalibration:
         cal.cycles_per_second,
         cal.process_spinup_cycles,
         cal.shard_dispatch_cycles,
+        cal.compiled_speedup,
+        cal.compiled_warmup_cycles,
     ) <= 0:
         raise DeviceError(f"cost profile {path} has non-positive constants")
     return cal
@@ -332,6 +361,15 @@ def estimate_comparison_cycles(
     return n_pairs * (pixelize + classify)
 
 
+def compiled_substrate_available() -> bool:
+    """Whether the compiled (numba) substrate can run in this process."""
+    try:
+        from repro.backends.numba_backend import numba_unavailable_reason
+    except ImportError:  # pragma: no cover - defensive
+        return False
+    return numba_unavailable_reason() is None
+
+
 def recommend_backend(
     n_pairs: int,
     mean_edges: float,
@@ -340,12 +378,16 @@ def recommend_backend(
     block_size: int = 64,
     workers: int = 1,
     calibration: CostCalibration | None = None,
+    compiled: bool | None = None,
 ) -> str:
     """Backend choice for a workload profile (pair count + edge density).
 
     Policy only — every backend returns bit-identical results, so a
     misprediction costs time, never correctness:
 
+    * workloads that dwarf the JIT warm-up charge, when the compiled
+      substrate is usable -> ``"numba"`` (machine code over all cores
+      beats forked NumPy workers without any process spin-up);
     * heavy workloads that amortize process spin-up -> ``"multiprocess"``;
     * subdivision-dominated workloads (MBRs far above the pixelization
       threshold, where the batch path's skip-subdivision policy never
@@ -353,13 +395,20 @@ def recommend_backend(
     * everything else -> ``"batch"``, the production default.
 
     ``calibration`` (default: :func:`active_calibration`) replaces the
-    modeled spin-up charge with this host's measured one.
+    modeled spin-up/warm-up charges with this host's measured ones.
+    ``compiled`` pins the compiled substrate as usable (``True``) or not
+    (``False``); ``None`` probes for the installed extra.
     """
     cal = calibration if calibration is not None else active_calibration()
     spinup = cal.process_spinup_cycles if cal else _PROCESS_SPINUP_CYCLES
+    warmup = cal.compiled_warmup_cycles if cal else _COMPILED_WARMUP_CYCLES
     cycles = estimate_comparison_cycles(
         n_pairs, mean_edges, mean_mbr_pixels, pixel_threshold, block_size
     )
+    if compiled is None:
+        compiled = compiled_substrate_available()
+    if compiled and cycles > warmup * _COMPILED_AMORTIZATION:
+        return "numba"
     if workers > 1 and cycles > spinup * _SPINUP_AMORTIZATION * workers:
         return "multiprocess"
     if mean_mbr_pixels > 4 * pixel_threshold:
@@ -437,6 +486,7 @@ def recommend_shard_pairs(
     block_size: int = 64,
     workers: int = 1,
     calibration: CostCalibration | None = None,
+    substrate: str = "numpy",
 ) -> int:
     """Pairs per remote shard for one cluster dispatch.
 
@@ -445,6 +495,10 @@ def recommend_shard_pairs(
     must stay a rounding error), while the request should still split
     into about ``_SHARDS_PER_WORKER`` shards per worker so the scheduler
     has slack for speculation and re-dispatch.
+
+    ``substrate="numba"`` prices shard compute at the compiled substrate's
+    speed: each pair costs less, so shards must grow to keep dispatch
+    overhead amortized.
     """
     if n_pairs <= 0:
         return 1
@@ -453,6 +507,9 @@ def recommend_shard_pairs(
     per_pair = estimate_comparison_cycles(
         1, mean_edges, mean_mbr_pixels, pixel_threshold, block_size
     )
+    if substrate == "numba":
+        speedup = cal.compiled_speedup if cal else _COMPILED_SPEEDUP
+        per_pair /= max(speedup, 1.0)
     if per_pair <= 0:
         floor = n_pairs
     else:

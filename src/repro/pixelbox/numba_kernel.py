@@ -1,0 +1,349 @@
+"""Compiled chunk-kernel substrate (Numba ``@njit(parallel=True)``).
+
+The NumPy substrate in :mod:`repro.pixelbox.vectorized` executes the
+PixelBox plan level-synchronously — wide array programs, one level of
+every pair's subdivision tree at a time.  This module executes the *same
+tree* per pair as a compiled depth-first walk: one ``prange`` iteration
+per pair, an explicit sampling-box stack, scalar Lemma-1 classification
+against the pair's CSR edge spans, and the XOR-scan leaf pixelization as
+tight loops.  Results and work counters are bit-for-bit identical:
+
+* the subdivision tree is determined solely by the proportional cuts
+  (``x0 + i * width // nx``), the leaf test
+  (``size < threshold or size == 1``), and the Lemma-1 continuation rule
+  — all reproduced exactly, so both substrates visit the same boxes;
+* every counter and every area is an order-independent int64 sum over
+  those boxes, so traversal order (DFS here, BFS there) cannot change
+  the totals.
+
+The compiled substrate implements the PIXELBOX indirect-union sequence
+only (the production and shard policies); ``ExecutionPolicy`` rejects
+``substrate="numba"`` for other variants.  ``leaf_mode`` is ignored —
+leaves always use the XOR-scan fill, which counts the same pixels as the
+per-pixel ray cast because both are exact.
+
+When numba is not installed the module still imports: ``njit`` degrades
+to an identity decorator and ``prange`` to ``range``, so the *algorithm*
+remains testable pure-Python (``allow_fallback=True``) while
+:func:`require_numba` keeps the production entry points loud about the
+missing ``repro[numba]`` extra.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BackendError
+from repro.pixelbox.common import KernelStats, LaunchConfig
+
+__all__ = [
+    "NUMBA_AVAILABLE",
+    "require_numba",
+    "thread_count",
+    "run_chunk_compiled",
+]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pure-Python fallback keeps the algorithm importable
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):  # noqa: ARG001 - decorator-compatible stub
+        if args and callable(args[0]):
+            return args[0]
+
+        def deco(fn):
+            return fn
+
+        return deco
+
+    prange = range
+
+
+def require_numba() -> None:
+    """Raise :class:`~repro.errors.BackendError` when numba is missing."""
+    if not NUMBA_AVAILABLE:
+        raise BackendError(
+            "the compiled substrate requires numba, which is not "
+            "installed; install the optional extra: "
+            "pip install 'repro[numba]'"
+        )
+
+
+def thread_count() -> int:
+    """Worker threads the compiled kernel parallelizes over (1 without)."""
+    if not NUMBA_AVAILABLE:
+        return 1
+    import numba
+
+    return int(numba.get_num_threads())
+
+
+# Counter-matrix column layout of ``_pixelbox_chunk`` (one row per pair);
+# summed into the matching ``KernelStats`` fields by the wrapper.
+_C_POPS = 0
+_C_PARTITIONS = 1
+_C_CLASSIFIED = 2
+_C_DECIDED = 3
+_C_LEAVES = 4
+_C_PIXEL_TESTS = 5
+_C_BATCHED = 6
+_C_FALLBACK = 7
+
+
+@njit(cache=True)
+def _classify(xs, lo, hi, ys, xlo, xhi, e0, e1, x0, y0, x1, y1):
+    """Lemma-1 position (0=OUTSIDE, 1=HOVER, 2=INSIDE) of one box.
+
+    Identical semantics to ``vectorized.classify_boxes``: hover when any
+    vertical edge crosses the open interior (``x0 < xe < x1`` with a y
+    overlap) or any horizontal edge does (transposed); otherwise the
+    center's ray-cast parity decides inside vs outside.  Hover takes
+    precedence over inside, as in the array version's scatter order.
+    """
+    for e in range(e0, e1):
+        if x0 < xs[e] < x1 and lo[e] < y1 and hi[e] > y0:
+            return 1
+    for e in range(e0, e1):
+        if y0 < ys[e] < y1 and xlo[e] < x1 and xhi[e] > x0:
+            return 1
+    cx = x0 + ((x1 - x0) >> 1)
+    cy = y0 + ((y1 - y0) >> 1)
+    parity = False
+    for e in range(e0, e1):
+        if xs[e] <= cx and lo[e] <= cy < hi[e]:
+            parity = not parity
+    if parity:
+        return 2
+    return 0
+
+
+@njit(cache=True)
+def _leaf_mask(xs, lo, hi, e0, e1, x0, y0, w, h):
+    """One polygon's pixel parity mask over a leaf box (XOR-scan fill).
+
+    Mirrors ``vectorized._bucket_counts`` exactly: each vertical edge
+    toggles two cells of an ``(h+1, w+1)`` grid (column clamped left to
+    0, dropped at ``>= w``; span clamped to ``[0, h]``), one XOR scan
+    along y expands the spans, one along x resolves the ray-cast parity.
+    """
+    grid = np.zeros((h + 1, w + 1), dtype=np.uint8)
+    for e in range(e0, e1):
+        c = xs[e] - x0
+        if c < 0:
+            c = 0
+        if c >= w:
+            continue
+        lo_r = lo[e] - y0
+        if lo_r < 0:
+            lo_r = 0
+        if lo_r > h:
+            lo_r = h
+        hi_r = hi[e] - y0
+        if hi_r < 0:
+            hi_r = 0
+        if hi_r > h:
+            hi_r = h
+        if lo_r >= hi_r:
+            continue
+        grid[lo_r, c] ^= 1
+        grid[hi_r, c] ^= 1
+    for yy in range(1, h + 1):
+        for xx in range(w + 1):
+            grid[yy, xx] ^= grid[yy - 1, xx]
+    for yy in range(h + 1):
+        for xx in range(1, w + 1):
+            grid[yy, xx] ^= grid[yy, xx - 1]
+    return grid
+
+
+@njit(cache=True)
+def _leaf_inter(
+    p_xs, p_lo, p_hi, pe0, pe1, q_xs, q_lo, q_hi, qe0, qe1, x0, y0, x1, y1
+):
+    """Exact ``|p AND q|`` pixel count over one leaf box."""
+    w = x1 - x0
+    h = y1 - y0
+    gp = _leaf_mask(p_xs, p_lo, p_hi, pe0, pe1, x0, y0, w, h)
+    gq = _leaf_mask(q_xs, q_lo, q_hi, qe0, qe1, x0, y0, w, h)
+    total = 0
+    for yy in range(h):
+        for xx in range(w):
+            if gp[yy, xx] & gq[yy, xx]:
+                total += 1
+    return total
+
+
+@njit(parallel=True, cache=True)
+def _pixelbox_chunk(
+    p_xs, p_lo, p_hi, p_ys, p_xlo, p_xhi, p_off,
+    q_xs, q_lo, q_hi, q_ys, q_xlo, q_xhi, q_off,
+    boxes, has_box, row_base, threshold, nx, ny, skip_dim,
+):
+    """PIXELBOX intersection areas + work counters for one chunk.
+
+    One ``prange`` iteration per pair; each iteration owns its stack and
+    its row of the counter matrix, so the parallel loop has no shared
+    mutable state.  ``skip_dim < 0`` means "always subdivide" (the
+    ``None`` policy); otherwise start boxes fitting ``skip_dim`` pixelize
+    directly and the rest are charged as fallback pairs.
+    """
+    m = boxes.shape[0]
+    inter = np.zeros(m, dtype=np.int64)
+    counters = np.zeros((m, 8), dtype=np.int64)
+    for i in prange(m):
+        if not has_box[i]:
+            continue
+        row = row_base + i
+        pe0 = p_off[row]
+        pe1 = p_off[row + 1]
+        qe0 = q_off[row]
+        qe1 = q_off[row + 1]
+        x0 = boxes[i, 0]
+        y0 = boxes[i, 1]
+        x1 = boxes[i, 2]
+        y1 = boxes[i, 3]
+        if skip_dim >= 0:
+            if x1 - x0 <= skip_dim and y1 - y0 <= skip_dim:
+                # Skip-routed: the start box is one popped sampling box
+                # pixelized whole (same charges as ChunkKernel.run_chunk).
+                counters[i, _C_BATCHED] += 1
+                counters[i, _C_POPS] += 1
+                counters[i, _C_LEAVES] += 1
+                counters[i, _C_PIXEL_TESTS] += 2 * (x1 - x0) * (y1 - y0)
+                inter[i] = _leaf_inter(
+                    p_xs, p_lo, p_hi, pe0, pe1,
+                    q_xs, q_lo, q_hi, qe0, qe1,
+                    x0, y0, x1, y1,
+                )
+                continue
+            counters[i, _C_FALLBACK] += 1
+        # Depth-first subdivision; the stack starts roomy enough for the
+        # worst realistic depth and doubles if a pathological tree needs
+        # more.
+        cap = 128 * nx * ny + 8
+        stack = np.empty((cap, 4), dtype=np.int64)
+        stack[0, 0] = x0
+        stack[0, 1] = y0
+        stack[0, 2] = x1
+        stack[0, 3] = y1
+        top = 1
+        acc = 0
+        while top > 0:
+            top -= 1
+            bx0 = stack[top, 0]
+            by0 = stack[top, 1]
+            bx1 = stack[top, 2]
+            by1 = stack[top, 3]
+            counters[i, _C_POPS] += 1
+            size = (bx1 - bx0) * (by1 - by0)
+            if size < threshold or size == 1:
+                counters[i, _C_LEAVES] += 1
+                counters[i, _C_PIXEL_TESTS] += 2 * size
+                acc += _leaf_inter(
+                    p_xs, p_lo, p_hi, pe0, pe1,
+                    q_xs, q_lo, q_hi, qe0, qe1,
+                    bx0, by0, bx1, by1,
+                )
+                continue
+            counters[i, _C_PARTITIONS] += 1
+            bw = bx1 - bx0
+            bh = by1 - by0
+            for iy in range(ny):
+                cy0 = by0 + iy * bh // ny
+                cy1 = by0 + (iy + 1) * bh // ny
+                if cy1 <= cy0:
+                    continue
+                for ix in range(nx):
+                    cx0 = bx0 + ix * bw // nx
+                    cx1 = bx0 + (ix + 1) * bw // nx
+                    if cx1 <= cx0:
+                        continue
+                    counters[i, _C_CLASSIFIED] += 1
+                    phi1 = _classify(
+                        p_xs, p_lo, p_hi, p_ys, p_xlo, p_xhi,
+                        pe0, pe1, cx0, cy0, cx1, cy1,
+                    )
+                    phi2 = _classify(
+                        q_xs, q_lo, q_hi, q_ys, q_xlo, q_xhi,
+                        qe0, qe1, cx0, cy0, cx1, cy1,
+                    )
+                    if phi1 != 0 and phi2 != 0 and (phi1 == 1 or phi2 == 1):
+                        if top == stack.shape[0]:
+                            grown = np.empty(
+                                (stack.shape[0] * 2, 4), dtype=np.int64
+                            )
+                            grown[: stack.shape[0]] = stack
+                            stack = grown
+                        stack[top, 0] = cx0
+                        stack[top, 1] = cy0
+                        stack[top, 2] = cx1
+                        stack[top, 3] = cy1
+                        top += 1
+                    else:
+                        counters[i, _C_DECIDED] += 1
+                        if phi1 == 2 and phi2 == 2:
+                            acc += (cx1 - cx0) * (cy1 - cy0)
+        inter[i] = acc
+    return inter, counters
+
+
+def run_chunk_compiled(
+    table_p,
+    table_q,
+    boxes: np.ndarray,
+    has_box: np.ndarray,
+    row_base: int,
+    stats: KernelStats,
+    policy,
+    cfg: LaunchConfig,
+    *,
+    allow_fallback: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compiled equivalent of ``ChunkKernel.run_chunk`` (PIXELBOX only).
+
+    Same contract: ``boxes``/``has_box`` hold the chunk's ``m`` pairs,
+    pair ``i`` owns row ``row_base + i`` of the edge tables, counters are
+    charged into ``stats`` exactly as the NumPy substrate charges them.
+    Returns ``(inter, uni)`` with ``uni`` all-zero (indirect union).
+
+    ``allow_fallback=True`` lets the pure-Python stub run when numba is
+    absent — for algorithm-parity tests only; production dispatch goes
+    through :func:`require_numba`.
+    """
+    if not allow_fallback:
+        require_numba()
+    m = len(boxes)
+    stats.pairs += m
+    uni = np.zeros(m, dtype=np.int64)
+    if m == 0:
+        return np.zeros(0, dtype=np.int64), uni
+    skip = policy.skip_subdivision_max_dim
+    nx, ny = cfg.grid
+    inter, counters = _pixelbox_chunk(
+        table_p.xs, table_p.lo, table_p.hi,
+        table_p.ys, table_p.xlo, table_p.xhi,
+        table_p.offsets,
+        table_q.xs, table_q.lo, table_q.hi,
+        table_q.ys, table_q.xlo, table_q.xhi,
+        table_q.offsets,
+        np.ascontiguousarray(boxes),
+        np.ascontiguousarray(has_box),
+        int(row_base),
+        int(cfg.threshold),
+        int(nx),
+        int(ny),
+        -1 if skip is None else int(skip),
+    )
+    totals = counters.sum(axis=0)
+    stats.pops += int(totals[_C_POPS])
+    stats.partitions += int(totals[_C_PARTITIONS])
+    stats.boxes_classified += int(totals[_C_CLASSIFIED])
+    stats.boxes_decided += int(totals[_C_DECIDED])
+    stats.leaf_boxes += int(totals[_C_LEAVES])
+    stats.pixel_tests += int(totals[_C_PIXEL_TESTS])
+    stats.batched_pairs += int(totals[_C_BATCHED])
+    stats.fallback_pairs += int(totals[_C_FALLBACK])
+    return inter, uni

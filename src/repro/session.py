@@ -59,6 +59,38 @@ __all__ = ["Session"]
 _POOLED_BACKENDS = ("multiprocess", "auto")
 
 
+def _profile_calibration(options: CompareOptions):
+    """The options' cost profile as a loaded calibration, or ``None``.
+
+    Loaded fresh per resolution and threaded explicitly — never
+    installed process-wide.  Two sessions with different profiles in one
+    process therefore plan independently, and closing a session leaves
+    global calibration state untouched (it used to call
+    ``set_calibration()``, silently corrupting every other session's
+    cost model).
+    """
+    if options.cost_profile is None:
+        return None
+    from repro.gpu.cost import load_calibration
+
+    return load_calibration(options.cost_profile)
+
+
+def _factory_options(options: CompareOptions) -> dict:
+    """Backend factory kwargs for ``options``, calibration included.
+
+    Shared by the warm-backend resolution and per-request matching so
+    the "does this request reuse the warm executor" comparison sees the
+    same dict on both sides.
+    """
+    factory_options = options.resolved_backend_options()
+    if options.backend == "auto" and options.cost_profile is not None:
+        factory_options.setdefault(
+            "calibration", _profile_calibration(options)
+        )
+    return factory_options
+
+
 class Session:
     """One warm execution context for many comparisons.
 
@@ -105,22 +137,13 @@ class Session:
             if self._backend is None:
                 from repro.backends import get_backend
 
-                factory_options = self.options.resolved_backend_options()
+                factory_options = _factory_options(self.options)
                 if self.options.backend in _POOLED_BACKENDS:
                     factory_options.setdefault("persistent", True)
                 self._backend = get_backend(
                     self.options.backend, **factory_options
                 )
-                self._apply_cost_profile()
             return self._backend
-
-    def _apply_cost_profile(self) -> None:
-        """Activate the spec's calibration profile (process-wide)."""
-        if self.options.cost_profile is None:
-            return
-        from repro.gpu.cost import load_calibration, set_calibration
-
-        set_calibration(load_calibration(self.options.cost_profile))
 
     def warm(self) -> "Session":
         """Resolve the backend and pre-spawn its pooled state.
@@ -164,14 +187,13 @@ class Session:
         """The executor for one request (warm when the spec matches)."""
         if (
             options.backend == self.options.backend
-            and options.resolved_backend_options()
-            == self.options.resolved_backend_options()
+            and _factory_options(options) == _factory_options(self.options)
         ):
             return self.backend, False
         from repro.backends import get_backend
 
         return (
-            get_backend(options.backend, **options.resolved_backend_options()),
+            get_backend(options.backend, **_factory_options(options)),
             True,
         )
 
@@ -382,7 +404,13 @@ class Session:
         cfg = options.launch_config()
         mean_edges, mean_pixels = profile_pairs(pairs)
         return recommend_shard_pairs(
-            len(pairs), mean_edges, mean_pixels, cfg.threshold, cfg.block_size
+            len(pairs),
+            mean_edges,
+            mean_pixels,
+            cfg.threshold,
+            cfg.block_size,
+            calibration=_profile_calibration(options),
+            substrate="numba" if options.backend == "numba" else "numpy",
         )
 
     # ------------------------------------------------------------------

@@ -37,6 +37,21 @@ def mask_of(polygon: RectilinearPolygon, box: Box) -> np.ndarray:
     return polygon_to_mask(polygon, box)
 
 
+@pytest.fixture(autouse=True)
+def _clean_cost_calibration():
+    """No test inherits (or leaks) a process-global cost profile.
+
+    ``set_calibration`` / ``REPRO_COST_PROFILE`` mutate module state in
+    :mod:`repro.gpu.cost`; a test that loads a profile must not change
+    which plan the *next* test's profile-less session resolves to.
+    """
+    from repro.gpu import cost
+
+    cost.clear_calibration()
+    yield
+    cost.clear_calibration()
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic RNG per test."""

@@ -91,6 +91,11 @@ def test_batched_agrees_with_per_pair_on_contact_cases(method, case):
 @pytest.mark.parametrize("name", sorted(set(available_backends())))
 def test_every_backend_handles_contact_cases(name):
     """The same contact sweep through the registry: bit-for-bit parity."""
+    from repro.backends import backend_availability
+
+    reason = backend_availability(name)
+    if reason is not None:
+        pytest.skip(reason)
     pairs = list(_contact_cases().values())
     expected = [compute_pair(p, q) for p, q in pairs]
     result = get_backend(name).compare_pairs(pairs)

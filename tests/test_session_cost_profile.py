@@ -1,0 +1,128 @@
+"""Per-session cost-profile isolation (the global-leak regression).
+
+``Session._apply_cost_profile`` used to install a session's profile with
+``set_calibration()`` — mutating process-global state, so the *last*
+session to resolve its options silently re-planned every other session
+in the process, and ``close()`` wiped whatever profile the environment
+had configured.  These tests pin the fixed contract: calibration is
+loaded per options and threaded explicitly, two sessions with different
+profiles plan differently *at the same time*, and no entry point leaves
+a trace in :mod:`repro.gpu.cost`'s module state.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.api import CompareOptions, CompareRequest, Session, explain
+from repro.gpu import cost
+
+from conftest import random_pair
+
+
+def _write_profile(path, *, dispatch: float, source: str) -> str:
+    path.write_text(
+        json.dumps(
+            {
+                "cycles_per_second": 1.0e9,
+                "process_spinup_cycles": 1.0e8,
+                "shard_dispatch_cycles": dispatch,
+                "source": source,
+            }
+        )
+    )
+    return str(path)
+
+
+@pytest.fixture
+def pairs_request_factory(tmp_path):
+    """Builds the same pairs request under different cost profiles."""
+    rng = np.random.default_rng(20260807)
+    pairs = [random_pair(rng) for _ in range(64)]
+
+    def build(profile: str | None) -> CompareRequest:
+        options = CompareOptions(
+            backend="multiprocess",
+            backend_options={"workers": 4, "min_pairs": 1},
+            cost_profile=profile,
+        )
+        return CompareRequest.from_pairs(pairs, options)
+
+    return build
+
+
+def test_two_sessions_with_different_profiles_plan_differently(
+    tmp_path, pairs_request_factory
+):
+    """Both sessions are open at once; each plans by its own profile."""
+    # A tiny dispatch charge lets shards shrink to the per-worker target;
+    # a huge one forces the whole request into one shard.
+    cheap = _write_profile(
+        tmp_path / "cheap.json", dispatch=1.0, source="profile-cheap"
+    )
+    costly = _write_profile(
+        tmp_path / "costly.json", dispatch=1.0e12, source="profile-costly"
+    )
+    with Session(CompareOptions(cost_profile=cheap)) as s_cheap, \
+            Session(CompareOptions(cost_profile=costly)) as s_costly:
+        plan_cheap = s_cheap.explain(pairs_request_factory(cheap))
+        plan_costly = s_costly.explain(pairs_request_factory(costly))
+        # Interleave: re-planning the first session after the second one
+        # resolved must not be influenced by the second's profile.
+        plan_cheap_again = s_cheap.explain(pairs_request_factory(cheap))
+    assert plan_cheap.calibration == "profile-cheap"
+    assert plan_costly.calibration == "profile-costly"
+    assert plan_cheap.shard_pairs < plan_costly.shard_pairs
+    assert plan_cheap_again.shard_pairs == plan_cheap.shard_pairs
+    # Nothing was installed process-wide by either session.
+    assert cost._active_calibration is cost._UNLOADED
+
+
+def test_explain_with_profile_leaves_later_sessions_unchanged(
+    tmp_path, pairs_request_factory
+):
+    """A profiled explain() between two profile-less ones changes nothing."""
+    profiled = _write_profile(
+        tmp_path / "p.json", dispatch=1.0e12, source="profile-loud"
+    )
+    before = explain(pairs_request_factory(None))
+    middle = explain(pairs_request_factory(profiled))
+    after = explain(pairs_request_factory(None))
+    assert middle.calibration == "profile-loud"
+    assert before.calibration == after.calibration == "modeled"
+    assert before.shard_pairs == after.shard_pairs
+    assert before.coalesce_pairs == after.coalesce_pairs
+    # The profile did change the middle plan's sizing — the no-leak
+    # asserts above are not vacuous.
+    assert middle.coalesce_pairs != before.coalesce_pairs
+    # The profile-less plans resolved the environment (None); the loud
+    # profile was never installed process-wide.
+    assert cost.active_calibration() is None
+
+
+def test_auto_session_threads_its_profile_into_the_dispatcher(tmp_path):
+    """The auto backend receives the session's calibration explicitly."""
+    profile = _write_profile(
+        tmp_path / "auto.json", dispatch=2.0e7, source="profile-auto"
+    )
+    with Session(CompareOptions(backend="auto", cost_profile=profile)) as s:
+        backend = s.backend
+        assert backend.calibration is not None
+        assert backend.calibration.source == "profile-auto"
+    assert cost._active_calibration is cost._UNLOADED
+
+
+def test_close_leaves_process_calibration_untouched(tmp_path):
+    """close() must not clear (or set) the environment-resolved profile."""
+    profile = _write_profile(
+        tmp_path / "env.json", dispatch=3.0e7, source="profile-env"
+    )
+    # Simulate an environment-configured process-wide profile.
+    env_cal = cost.load_calibration(profile)
+    cost.set_calibration(env_cal)
+    session = Session(CompareOptions(cost_profile=profile))
+    session.close()
+    assert cost.active_calibration() is env_cal
