@@ -46,8 +46,14 @@ def _spawn_worker() -> tuple[subprocess.Popen, str]:
     env["PYTHONPATH"] = "src" + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
+    # Workers run with their shard-result cache disabled: the timed warm
+    # repeats must measure dispatch + kernel throughput, not how fast a
+    # worker can replay memoized shard results.
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "worker", "--port", "0"],
+        [
+            sys.executable, "-m", "repro", "worker",
+            "--port", "0", "--result-cache-bytes", "0",
+        ],
         stdout=subprocess.PIPE,
         text=True,
         env=env,
@@ -76,7 +82,7 @@ def _time_cluster(hosts: list[str], pairs, ref, repeats: int = 3) -> float:
     return best
 
 
-def test_cluster_scaling(benchmark, save_report):
+def test_cluster_scaling(benchmark, save_report, save_json):
     pairs = _workload()
     ref = get_backend("vectorized").compare_pairs(pairs)
 
@@ -112,6 +118,25 @@ def test_cluster_scaling(benchmark, save_report):
             f"{len(pairs) / seconds:>10.0f}"
         )
     save_report("cluster_scaling", "\n".join(lines))
+    save_json(
+        "BENCH_cluster_scaling",
+        {
+            "benchmark": "cluster_scaling",
+            "pairs": len(pairs),
+            "result_cache": "disabled (workers spawned with "
+            "--result-cache-bytes 0)",
+            "rows": [
+                {
+                    "executor": name,
+                    "workers": count,
+                    "seconds": seconds,
+                    "speedup": speedup,
+                    "pairs_per_second": len(pairs) / seconds,
+                }
+                for name, count, seconds, speedup in rows
+            ],
+        },
+    )
 
     by_count = {count: s for name, count, s, _ in rows if name == "cluster"}
     # Scaling bar kept deliberately loose for CI noise: more workers must

@@ -12,6 +12,12 @@ Acceptance bar (ISSUE 2): pooled warm-backend serving beats per-call
 backend construction by >= 2x, and every coalesced response is
 bit-for-bit the sequential per-request result (asserted here over every
 request, on top of the dedicated service parity tests).
+
+The cached phase (ISSUE 7) replays the same request stream against a
+cache-enabled warm service: the first pass populates the
+content-addressed request cache, the repeat pass must be served from it
+>= 5x faster, bit-for-bit identical, with the hit counters visible in
+the service metrics snapshot.
 """
 
 from __future__ import annotations
@@ -82,7 +88,29 @@ def _run_warm(chunks) -> tuple[float, list, object]:
     return asyncio.run(main())
 
 
-def test_service_throughput(benchmark, save_report):
+def _run_cached(chunks):
+    """Cache-enabled warm service: populate pass, then repeat pass."""
+
+    async def main():
+        config = ServiceConfig(
+            backend="multiprocess",
+            backend_options={"workers": _WORKERS, "min_pairs": 1},
+            coalesce_window=0.01,
+            cache=True,
+        )
+        async with ComparisonService(config) as service:
+            t0 = time.perf_counter()
+            first = await asyncio.gather(*(service.submit(c) for c in chunks))
+            populate_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            repeat = await asyncio.gather(*(service.submit(c) for c in chunks))
+            repeat_s = time.perf_counter() - t0
+            return populate_s, repeat_s, first, repeat, service.snapshot()
+
+    return asyncio.run(main())
+
+
+def test_service_throughput(benchmark, save_report, save_json):
     chunks = _request_workloads()
 
     def run():
@@ -93,6 +121,9 @@ def test_service_throughput(benchmark, save_report):
     cold_s, cold_results, warm_s, warm_results, snap = benchmark.pedantic(
         run, rounds=1, iterations=1
     )
+    populate_s, repeat_s, first_results, repeat_results, cached_snap = (
+        _run_cached(chunks)
+    )
 
     # Coalesced dispatch is bit-for-bit the per-request result.
     for cold, warm in zip(cold_results, warm_results):
@@ -101,7 +132,19 @@ def test_service_throughput(benchmark, save_report):
         assert np.array_equal(cold.area_p, warm.area_p)
         assert np.array_equal(cold.area_q, warm.area_q)
 
+    # Cached repeats are bit-for-bit the populate pass (and the cold run).
+    for cold, first, repeat in zip(
+        cold_results, first_results, repeat_results
+    ):
+        assert np.array_equal(cold.intersection, first.intersection)
+        assert np.array_equal(first.intersection, repeat.intersection)
+        assert np.array_equal(first.union, repeat.union)
+        assert np.array_equal(first.area_p, repeat.area_p)
+        assert np.array_equal(first.area_q, repeat.area_q)
+        assert first.stats.as_dict() == repeat.stats.as_dict()
+
     speedup = cold_s / warm_s
+    cache_speedup = populate_s / repeat_s
     total_pairs = sum(len(c) for c in chunks)
     lines = [
         "Service throughput - warm pooled serving vs per-call backend "
@@ -114,12 +157,59 @@ def test_service_throughput(benchmark, save_report):
         f"{_REQUESTS / cold_s:8.1f}",
         f"{'warm service (coalesced)':28s} {warm_s:9.3f} "
         f"{_REQUESTS / warm_s:8.1f}",
-        f"speedup: {speedup:.1f}x",
+        f"{'warm service (cache miss)':28s} {populate_s:9.3f} "
+        f"{_REQUESTS / populate_s:8.1f}",
+        f"{'warm service (cache hit)':28s} {repeat_s:9.3f} "
+        f"{_REQUESTS / repeat_s:8.1f}",
+        f"speedup: {speedup:.1f}x (warm vs cold), "
+        f"{cache_speedup:.1f}x (cached repeat vs populate)",
         "",
         "service metrics:",
         snap.render(),
+        "",
+        "cached service metrics:",
+        cached_snap.render(),
     ]
     save_report("service_throughput", "\n".join(lines))
+    save_json(
+        "BENCH_service_throughput",
+        {
+            "benchmark": "service_throughput",
+            "requests": _REQUESTS,
+            "pairs_per_request": _PAIRS_PER_REQUEST,
+            "total_pairs": total_pairs,
+            "workers": _WORKERS,
+            "host_cores": os.cpu_count(),
+            "modes": {
+                "per_call_construction": {
+                    "seconds": cold_s,
+                    "requests_per_second": _REQUESTS / cold_s,
+                },
+                "warm_service": {
+                    "seconds": warm_s,
+                    "requests_per_second": _REQUESTS / warm_s,
+                },
+                "cached_populate": {
+                    "seconds": populate_s,
+                    "requests_per_second": _REQUESTS / populate_s,
+                },
+                "cached_repeat": {
+                    "seconds": repeat_s,
+                    "requests_per_second": _REQUESTS / repeat_s,
+                },
+            },
+            "warm_speedup": speedup,
+            "cache_speedup": cache_speedup,
+            "service_metrics": snap.as_dict(),
+            "cached_service_metrics": cached_snap.as_dict(),
+        },
+    )
 
     # The acceptance bar: pooled warm serving >= 2x per-call spin-up.
     assert speedup >= 2.0, f"warm service only {speedup:.2f}x faster"
+    # ISSUE 7 acceptance: cached repeats >= 5x, hits visible in metrics.
+    assert cache_speedup >= 5.0, (
+        f"cached repeat only {cache_speedup:.2f}x faster than populate"
+    )
+    assert cached_snap.request_cache_hits >= _REQUESTS
+    assert cached_snap.caches["service.request"]["hits"] >= 1

@@ -5,8 +5,11 @@ Launches the real CLI server as a subprocess on an ephemeral TCP port,
 fires a handful of concurrent compare requests from blocking clients
 (one connection per thread — the shape that exercises the coalescer),
 verifies every response bit-for-bit against a direct backend call,
-prints the service metrics, then shuts the server down and checks it
-exits cleanly.  CI runs this as the service smoke job.
+replays the identical traffic warm (the server runs with ``--cache``,
+so the repeat round must be served from the request cache — nonzero
+hit counters, bit-for-bit the cold answers), prints the service
+metrics, then shuts the server down and checks it exits cleanly.  CI
+runs this as the service smoke job.
 
 Run:  PYTHONPATH=src python examples/service_smoke.py
 """
@@ -36,7 +39,7 @@ def start_server() -> tuple[subprocess.Popen, str, int]:
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--cache"],
         stdout=subprocess.PIPE,
         text=True,
         env=env,
@@ -62,27 +65,41 @@ def main() -> None:
     print(f"server up on {host}:{port} (pid {proc.pid})")
     shutdown_sent = False
     try:
-        results: dict[int, dict] = {}
+        def drive_round() -> dict[int, dict]:
+            results: dict[int, dict] = {}
 
-        def drive(i: int) -> None:
-            with ServiceClient(host, port) as client:
-                results[i] = client.compare(chunks[i])
+            def drive(i: int) -> None:
+                with ServiceClient(host, port) as client:
+                    results[i] = client.compare(chunks[i])
 
-        threads = [
-            threading.Thread(target=drive, args=(i,)) for i in range(CLIENTS)
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join(timeout=60)
-        assert len(results) == CLIENTS, "a client did not finish"
+            threads = [
+                threading.Thread(target=drive, args=(i,))
+                for i in range(CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert len(results) == CLIENTS, "a client did not finish"
+            return results
 
+        cold = drive_round()
         reference = get_backend("batch")
         for i, chunk in enumerate(chunks):
             want = reference.compare_pairs(chunk)
-            assert np.array_equal(results[i]["intersection"], want.intersection)
-            assert np.array_equal(results[i]["union"], want.union)
+            assert np.array_equal(cold[i]["intersection"], want.intersection)
+            assert np.array_equal(cold[i]["union"], want.union)
         print(f"{CLIENTS} concurrent requests answered bit-for-bit correctly")
+
+        # The same traffic again: the server runs with --cache, so this
+        # round must be served from the request cache — and be
+        # indistinguishable from the cold answers.
+        warm = drive_round()
+        for i in range(CLIENTS):
+            for field in ("intersection", "union", "area_p", "area_q"):
+                assert np.array_equal(cold[i][field], warm[i][field]), (
+                    f"warm request {i} diverged from its cold answer"
+                )
 
         with ServiceClient(host, port) as client:
             stats = client.stats()
@@ -91,6 +108,16 @@ def main() -> None:
                 f"batches={stats['batches']} "
                 f"occupancy={stats['mean_batch_requests']:.1f} req/batch "
                 f"p99={stats['p99_ms']:.1f}ms"
+            )
+            hits = stats["request_cache_hits"]
+            print(
+                f"request cache: hits={hits} "
+                f"misses={stats['request_cache_misses']} "
+                f"tiers={sorted(stats['caches'])}"
+            )
+            assert hits >= CLIENTS, (
+                f"warm round expected >= {CLIENTS} request-cache hits, "
+                f"got {hits}"
             )
             client.shutdown()
             shutdown_sent = True

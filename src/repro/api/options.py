@@ -74,6 +74,16 @@ class CompareOptions:
     migration:
         Enable dynamic CPU/GPU task migration for file comparisons
         (paper §4.2).  Off by default, matching the old library default.
+    cache:
+        Enable the content-addressed result cache: a front-door request
+        cache in :class:`~repro.session.Session` /
+        :class:`~repro.service.ComparisonService`, plus the coordinator-
+        and shard-level caches of backends that have them (cluster,
+        multiprocess).  Cached hits are bit-for-bit identical to cold
+        computations — areas *and* work counters — so this is purely a
+        latency knob.  Off by default.
+    cache_bytes:
+        Byte budget of each enabled cache tier (LRU eviction past it).
     """
 
     # -- execution substrate -------------------------------------------
@@ -91,6 +101,9 @@ class CompareOptions:
     buffer_capacity: int = 8
     batch_pairs: int = 4096
     migration: bool = False
+    # -- result caching ------------------------------------------------
+    cache: bool = False
+    cache_bytes: int = 64 * 2**20
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -117,6 +130,10 @@ class CompareOptions:
             raise RequestError(
                 f"batch_pairs must be >= 1, got {self.batch_pairs}"
             )
+        if self.cache_bytes < 1:
+            raise RequestError(
+                f"cache_bytes must be >= 1, got {self.cache_bytes}"
+            )
 
     # ------------------------------------------------------------------
     # Derived legacy config objects
@@ -131,7 +148,7 @@ class CompareOptions:
         )
 
     def resolved_backend_options(self) -> dict[str, Any]:
-        """Factory kwargs with the cluster host list folded in."""
+        """Factory kwargs with hosts and cache budgets folded in."""
         options = dict(self.backend_options)
         if self.hosts is not None:
             if self.backend not in ("cluster",):
@@ -140,6 +157,14 @@ class CompareOptions:
                     f"got {self.backend!r}"
                 )
             options.setdefault("hosts", self.hosts)
+        if self.cache:
+            # One knob, every tier: backends with their own cache layers
+            # get the same byte budget the front door uses.
+            if self.backend == "cluster":
+                options.setdefault("shard_cache_bytes", self.cache_bytes)
+                options.setdefault("merge_cache_bytes", self.cache_bytes)
+            elif self.backend == "multiprocess":
+                options.setdefault("result_cache_bytes", self.cache_bytes)
         return options
 
     def pipeline_options(self, devices=None):

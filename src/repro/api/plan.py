@@ -62,6 +62,12 @@ class ResolvedPlan:
         Provenance of the active cost profile (``"modeled"`` when none).
     migration:
         Whether the file pipeline would run task migration.
+    cache:
+        Resolved result-cache configuration: ``enabled``, the byte
+        budget, the request-cache key this request resolves to, and
+        ``would_hit`` — whether a run against the consulted store would
+        be served from cache (``None`` when no store was available to
+        consult, e.g. module-level ``explain`` outside a session).
     notes:
         Human-readable capability-check observations (non-fatal).
     """
@@ -80,6 +86,7 @@ class ResolvedPlan:
     hosts: tuple[str, ...] = ()
     calibration: str = "modeled"
     migration: bool = False
+    cache: dict[str, Any] = field(default_factory=dict)
     notes: tuple[str, ...] = field(default_factory=tuple)
 
     def as_dict(self) -> dict[str, Any]:
@@ -103,6 +110,7 @@ class ResolvedPlan:
             "hosts": list(self.hosts),
             "calibration": self.calibration,
             "migration": self.migration,
+            "cache": dict(self.cache),
             "notes": list(self.notes),
         }
 
@@ -145,13 +153,45 @@ def _resolve_hosts(options: CompareOptions) -> tuple[tuple[str, ...], bool]:
     )
 
 
-def explain(request: CompareRequest) -> ResolvedPlan:
+def _resolve_cache(request: CompareRequest, cal, request_cache) -> dict[str, Any]:
+    """The plan's cache section — key and hit prediction included.
+
+    Uses the same key derivation as ``Session._run_pairs`` (canonical
+    request JSON + calibration fingerprint), so a ``would_hit: true``
+    plan and a cached answer can never disagree about identity.
+    """
+    options = request.options
+    info: dict[str, Any] = {
+        "enabled": options.cache,
+        "cache_bytes": options.cache_bytes if options.cache else None,
+        "request_key": None,
+        "would_hit": None,
+    }
+    if not options.cache or request.kind == "files":
+        # File requests are path-addressed, not content-addressed:
+        # the payload can change under an unchanged request, so the
+        # request tier never caches them.
+        return info
+    from repro.cache import calibration_fingerprint, request_key
+
+    key = request_key(request, extra=(calibration_fingerprint(cal),))
+    info["request_key"] = key
+    if request_cache is not None:
+        info["would_hit"] = request_cache.contains(key)
+    return info
+
+
+def explain(request: CompareRequest, request_cache=None) -> ResolvedPlan:
     """Resolve ``request`` into its execution plan without executing it.
 
     Raises :class:`~repro.errors.ReproError` subclasses for specs the
     execution layer would reject (unknown backend, options the factory
     refuses, malformed host lists) — ``explain`` is the cheap way to
     validate a request before committing resources to it.
+
+    ``request_cache`` is the request-cache store to answer ``would_hit``
+    against (:meth:`repro.Session.explain` passes its own); with none,
+    the plan's ``would_hit`` is ``None``.
     """
     from repro.backends import get_backend
     from repro.gpu.cost import (
@@ -275,5 +315,6 @@ def explain(request: CompareRequest) -> ResolvedPlan:
         hosts=hosts,
         calibration=cal_source,
         migration=options.migration,
+        cache=_resolve_cache(request, cal, request_cache),
         notes=tuple(notes),
     )

@@ -263,6 +263,7 @@ def request_from_cli(
     hosts: str | None = None,
     migration: bool = True,
     workers: int | None = None,
+    cache: bool = False,
 ) -> CompareRequest:
     """``repro compare`` flags -> the same :class:`CompareRequest`.
 
@@ -277,6 +278,7 @@ def request_from_cli(
         backend_options=backend_options,
         hosts=hosts,
         migration=migration,
+        cache=cache,
     )
     return CompareRequest.from_files(dir_a, dir_b, options)
 

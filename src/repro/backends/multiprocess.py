@@ -265,6 +265,13 @@ class MultiprocessBackend(BackendLifecycle):
         ``"numba"`` — a shard runs the compiled chunk kernel inside its
         worker process, composing process sharding with the compiled
         substrate.  Requires the ``repro[numba]`` extra.
+    result_cache_bytes:
+        Byte budget of a parent-side shard-result cache keyed by the
+        content-addressed bundle digest — the exact key the cluster
+        workers use, shared store implementation and all.  Off (``0``)
+        by default; enabled by ``CompareOptions(cache=True)``.  Only the
+        pool path consults it (the in-process small path is cheaper than
+        a digest).
     """
 
     name = "multiprocess"
@@ -276,6 +283,7 @@ class MultiprocessBackend(BackendLifecycle):
         min_pairs: int = 256,
         persistent: bool = False,
         substrate: str = "numpy",
+        result_cache_bytes: int = 0,
     ):
         resolved = default_workers() if workers is None else workers
         if resolved < 1:
@@ -296,6 +304,14 @@ class MultiprocessBackend(BackendLifecycle):
         self._pool: ProcessPoolExecutor | None = None
         self._pool_unregister = False
         self._pool_lock = threading.Lock()
+        if result_cache_bytes > 0:
+            from repro.cache import LRUCacheStore
+
+            self._result_cache = LRUCacheStore(
+                result_cache_bytes, name="multiprocess.shard"
+            )
+        else:
+            self._result_cache = None
 
     def capabilities(self) -> BackendCapabilities:
         return BackendCapabilities(
@@ -357,6 +373,17 @@ class MultiprocessBackend(BackendLifecycle):
         if pool is not None:
             pool.shutdown(wait=True)
 
+    def cache_stats(self) -> dict[str, dict]:
+        """Snapshot of the parent-side shard cache, if enabled."""
+        if self._result_cache is None:
+            return {}
+        return {"multiprocess.shard": self._result_cache.snapshot().as_dict()}
+
+    def clear_caches(self) -> None:
+        """Drop every cached shard result."""
+        if self._result_cache is not None:
+            self._result_cache.clear()
+
     def compare_pairs(
         self, pairs: Pairs, config: LaunchConfig | None = None
     ) -> BatchAreas:
@@ -400,6 +427,38 @@ class MultiprocessBackend(BackendLifecycle):
             "boxes": boxes,
             "has_box": has_box,
         }
+        inter = np.zeros(n, dtype=np.int64)
+        step = -(-n // self.workers)
+        shards = [(lo, min(lo + step, n)) for lo in range(0, n, step)]
+        record = None
+        if self._result_cache is not None:
+            from repro.cache import copy_shard_result, shard_key, shard_result_nbytes
+            from repro.cluster import wire
+
+            cache = self._result_cache
+            policy = shard_policy(substrate=self.substrate)
+            digest = wire.bundle_digest(arrays)
+            keys = {
+                (lo, hi): shard_key(digest, lo, hi, policy, cfg)
+                for lo, hi in shards
+            }
+            todo = []
+            for lo, hi in shards:
+                hit = cache.get(keys[(lo, hi)])
+                if hit is not None:
+                    shard_inter, shard_stats = hit
+                    inter[lo:hi] = shard_inter
+                    stats.merge(KernelStats(**shard_stats))
+                else:
+                    todo.append((lo, hi))
+            shards = todo
+            if not shards:
+                return inter
+
+            def record(lo: int, hi: int, shard_inter, shard_stats) -> None:
+                entry = copy_shard_result((shard_inter, shard_stats))
+                cache.put(keys[(lo, hi)], entry, shard_result_nbytes(entry))
+
         try:
             shm, manifest = _pack_arrays(arrays)
         except OSError:  # pragma: no cover - hosts without shm support
@@ -407,14 +466,12 @@ class MultiprocessBackend(BackendLifecycle):
                 table_p, table_q, boxes, has_box, 0, n, cfg, stats,
                 self.substrate,
             )
-        inter = np.zeros(n, dtype=np.int64)
         try:
-            step = -(-n // self.workers)
-            shards = [(lo, min(lo + step, n)) for lo in range(0, n, step)]
             if self.persistent:
                 pool, unregister = self._ensure_pool()
                 self._collect(
-                    pool, shm, manifest, shards, cfg, unregister, inter, stats
+                    pool, shm, manifest, shards, cfg, unregister, inter, stats,
+                    record,
                 )
             else:
                 ctx = _mp_context()
@@ -424,7 +481,7 @@ class MultiprocessBackend(BackendLifecycle):
                 ) as pool:
                     self._collect(
                         pool, shm, manifest, shards, cfg, unregister, inter,
-                        stats,
+                        stats, record,
                     )
         finally:
             shm.close()
@@ -444,6 +501,7 @@ class MultiprocessBackend(BackendLifecycle):
         unregister: bool,
         inter: np.ndarray,
         stats: KernelStats,
+        record=None,
     ) -> None:
         """Submit every shard to ``pool`` and gather slices into ``inter``."""
         futures = [
@@ -458,3 +516,5 @@ class MultiprocessBackend(BackendLifecycle):
             inter[lo : lo + len(shard_inter)] = shard_inter
             part = KernelStats(**shard_stats)
             stats.merge(part)
+            if record is not None:
+                record(lo, lo + len(shard_inter), shard_inter, shard_stats)

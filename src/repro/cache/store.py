@@ -1,0 +1,218 @@
+"""Bounded-memory LRU stores shared by every result-cache tier.
+
+One store implementation backs all three tiers of the result cache
+(worker shard results, coordinator merges, front-door requests): a
+thread-safe LRU keyed by content-derived strings (see
+:mod:`repro.cache.keys`), evicting least-recently-used entries once a
+configurable byte budget is exceeded.  Values are opaque to the store —
+the tier that owns the store is responsible for copying mutable values
+on the way in and out (see :mod:`repro.cache.values`).
+
+:class:`SingleFlight` is the companion stampede guard: concurrent
+callers asking for the same missing key share one computation instead
+of racing to fill the cache N times.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.errors import CacheError
+
+__all__ = ["CacheSnapshot", "CacheStore", "LRUCacheStore", "SingleFlight"]
+
+
+@dataclass(frozen=True, slots=True)
+class CacheSnapshot:
+    """Point-in-time counters for one cache store."""
+
+    name: str
+    hits: int
+    misses: int
+    insertions: int
+    evictions: int
+    entries: int
+    current_bytes: int
+    max_bytes: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "insertions": self.insertions,
+            "evictions": self.evictions,
+            "entries": self.entries,
+            "current_bytes": self.current_bytes,
+            "max_bytes": self.max_bytes,
+        }
+
+
+@runtime_checkable
+class CacheStore(Protocol):
+    """What every result-cache tier expects from its store."""
+
+    def get(self, key: str) -> Any | None: ...
+
+    def contains(self, key: str) -> bool: ...
+
+    def put(self, key: str, value: Any, nbytes: int) -> None: ...
+
+    def clear(self) -> None: ...
+
+    def snapshot(self) -> CacheSnapshot: ...
+
+
+class LRUCacheStore:
+    """Thread-safe LRU cache bounded by a byte budget.
+
+    Parameters
+    ----------
+    max_bytes:
+        Byte budget; inserting past it evicts least-recently-used
+        entries until the total fits again.  Must be positive — a tier
+        that wants caching off simply does not construct a store.
+    name:
+        Label carried into :class:`CacheSnapshot` so metrics can tell
+        tiers apart (``"worker.shard"``, ``"service.request"``, ...).
+    """
+
+    def __init__(self, max_bytes: int, name: str = "cache") -> None:
+        if max_bytes <= 0:
+            raise CacheError(f"cache byte budget must be > 0, got {max_bytes}")
+        self.name = name
+        self.max_bytes = int(max_bytes)
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, tuple[Any, int]] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._insertions = 0
+        self._evictions = 0
+
+    def get(self, key: str) -> Any | None:
+        """The cached value, freshened in LRU order; ``None`` on miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry[0]
+
+    def contains(self, key: str) -> bool:
+        """Membership test that touches neither counters nor LRU order.
+
+        ``explain()`` uses this to predict a hit without perturbing the
+        cache it is describing.
+        """
+        with self._lock:
+            return key in self._entries
+
+    def put(self, key: str, value: Any, nbytes: int) -> None:
+        """Insert (or refresh) ``key``, evicting LRU entries over budget.
+
+        A value larger than the whole budget is silently not stored —
+        caching it would just evict everything else for a single entry.
+        """
+        if nbytes < 0:
+            raise CacheError(f"entry size cannot be negative, got {nbytes}")
+        nbytes = int(nbytes)
+        if nbytes > self.max_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (value, nbytes)
+            self._bytes += nbytes
+            self._insertions += 1
+            while self._bytes > self.max_bytes and self._entries:
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._bytes -= dropped
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry; counters other than ``entries`` survive."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def snapshot(self) -> CacheSnapshot:
+        with self._lock:
+            return CacheSnapshot(
+                name=self.name,
+                hits=self._hits,
+                misses=self._misses,
+                insertions=self._insertions,
+                evictions=self._evictions,
+                entries=len(self._entries),
+                current_bytes=self._bytes,
+                max_bytes=self.max_bytes,
+            )
+
+
+class _Flight:
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class SingleFlight:
+    """Per-key computation dedup for concurrent threads.
+
+    ``do(key, fn)`` runs ``fn`` in exactly one of the threads that ask
+    for ``key`` concurrently; the others block until the leader finishes
+    and then share its result (or its exception).  Each completed flight
+    is forgotten, so a later call with the same key computes again —
+    persistence is the cache store's job, not this guard's.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+
+    def do(self, key: str, fn: Callable[[], Any]) -> tuple[Any, bool]:
+        """Returns ``(value, leader)`` — ``leader`` is True for the
+        thread that actually ran ``fn``."""
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, False
+        try:
+            flight.value = fn()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        return flight.value, True

@@ -1,0 +1,58 @@
+"""Copy/size helpers for the values the result-cache tiers store.
+
+The stores hold plain values; these helpers keep the tiers honest about
+aliasing (cached arrays must never be mutated by callers) and about the
+byte accounting the LRU budget runs on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pixelbox.common import KernelStats
+from repro.pixelbox.kernel import BatchAreas
+
+__all__ = [
+    "areas_nbytes",
+    "copy_areas",
+    "copy_shard_result",
+    "shard_result_nbytes",
+]
+
+# Rough per-entry bookkeeping charge (key string, dict/object headers) so
+# many tiny entries still count against the budget.
+_ENTRY_OVERHEAD = 256
+
+
+def copy_areas(areas: BatchAreas) -> BatchAreas:
+    """A deep copy safe to hand to a caller (or keep in a store)."""
+    return BatchAreas(
+        intersection=areas.intersection.copy(),
+        union=areas.union.copy(),
+        area_p=areas.area_p.copy(),
+        area_q=areas.area_q.copy(),
+        stats=KernelStats(**areas.stats.as_dict()),
+    )
+
+
+def areas_nbytes(areas: BatchAreas) -> int:
+    """Byte charge for one cached :class:`BatchAreas`."""
+    return (
+        areas.intersection.nbytes
+        + areas.union.nbytes
+        + areas.area_p.nbytes
+        + areas.area_q.nbytes
+        + _ENTRY_OVERHEAD
+    )
+
+
+def copy_shard_result(result: tuple[np.ndarray, dict]) -> tuple[np.ndarray, dict]:
+    """Deep copy of a shard-tier ``(intersection, stats_dict)`` entry."""
+    inter, stats = result
+    return inter.copy(), dict(stats)
+
+
+def shard_result_nbytes(result: tuple[np.ndarray, dict]) -> int:
+    """Byte charge for one cached shard result."""
+    inter, _ = result
+    return inter.nbytes + _ENTRY_OVERHEAD

@@ -11,6 +11,7 @@ Subcommands::
     repro explain REQUEST.json
     repro serve [--backend NAME] [--port N | --stdio] [--max-queue N]
     repro worker [--host H] [--port N] [--max-tables N]
+    repro cache {stats,clear} [--host H] [--port N]
     repro calibrate [--output FILE] [--quick]
 
 Every comparison-shaped subcommand parses into the same declarative
@@ -90,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None,
         help="worker count for pooled backends (multiprocess/auto)",
     )
+    cmp_.add_argument(
+        "--cache", action="store_true",
+        help=(
+            "enable the content-addressed result cache (request + "
+            "backend tiers); cached hits are bit-for-bit identical"
+        ),
+    )
 
     exp = sub.add_parser(
         "explain",
@@ -147,6 +155,15 @@ def build_parser() -> argparse.ArgumentParser:
             "default REPRO_CLUSTER_HOSTS or local loopback workers"
         ),
     )
+    srv.add_argument(
+        "--cache", action="store_true",
+        help="enable the content-addressed request cache (repeat requests "
+        "served without a backend dispatch)",
+    )
+    srv.add_argument(
+        "--cache-bytes", type=int, default=64 * 2**20,
+        help="byte budget per cache tier (LRU eviction past it)",
+    )
 
     wrk = sub.add_parser(
         "worker",
@@ -168,6 +185,24 @@ def build_parser() -> argparse.ArgumentParser:
             "repro[numba] extra is installed, NumPy otherwise)"
         ),
     )
+    wrk.add_argument(
+        "--result-cache-bytes", type=int, default=None,
+        help=(
+            "byte budget of the worker's content-addressed shard-result "
+            "cache (0 disables; default 64 MiB)"
+        ),
+    )
+
+    cch = sub.add_parser(
+        "cache",
+        help="inspect or clear the caches of a running comparison server",
+    )
+    cch.add_argument(
+        "action", choices=("stats", "clear"),
+        help="stats: print per-tier counters; clear: drop every tier",
+    )
+    cch.add_argument("--host", default="127.0.0.1")
+    cch.add_argument("--port", type=int, default=8765)
 
     cal = sub.add_parser(
         "calibrate",
@@ -273,6 +308,7 @@ def main(argv: list[str] | None = None) -> int:
             hosts=args.hosts,
             migration=not args.no_migration,
             workers=args.workers,
+            cache=args.cache,
         )
         with Session(request.options) as session:
             result = session.run(request)
@@ -323,6 +359,8 @@ def main(argv: list[str] | None = None) -> int:
             backend=args.backend,
             backend_options=backend_options,
             hosts=args.hosts,
+            cache=args.cache,
+            cache_bytes=args.cache_bytes,
         )
         config = ServiceConfig.from_options(
             compare_options,
@@ -341,12 +379,17 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "worker":
         from repro.cluster import ShardWorker
+        from repro.cluster.worker import DEFAULT_RESULT_CACHE_BYTES
 
+        cache_bytes = args.result_cache_bytes
+        if cache_bytes is None:
+            cache_bytes = DEFAULT_RESULT_CACHE_BYTES
         worker = ShardWorker(
             host=args.host,
             port=args.port,
             max_tables=args.max_tables,
             substrate=args.substrate,
+            result_cache_bytes=cache_bytes,
         )
         worker._bind()
         host, port = worker.address
@@ -355,6 +398,38 @@ def main(argv: list[str] | None = None) -> int:
             worker.serve_forever()
         except KeyboardInterrupt:  # pragma: no cover - interactive exit
             worker.stop()
+        return 0
+
+    if args.command == "cache":
+        import json
+
+        from repro.errors import ServiceError
+        from repro.service import ServiceClient
+
+        try:
+            with ServiceClient(host=args.host, port=args.port) as client:
+                if args.action == "clear":
+                    client.cache_clear()
+                    print("caches cleared")
+                    return 0
+                stats = client.stats()
+                print(
+                    json.dumps(
+                        {
+                            "request_cache_hits": stats.get(
+                                "request_cache_hits", 0
+                            ),
+                            "request_cache_misses": stats.get(
+                                "request_cache_misses", 0
+                            ),
+                            "caches": stats.get("caches", {}),
+                        },
+                        indent=2,
+                    )
+                )
+        except (OSError, ServiceError) as exc:
+            print(f"cannot reach server: {exc}", file=sys.stderr)
+            return 1
         return 0
 
     if args.command == "calibrate":

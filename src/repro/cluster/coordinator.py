@@ -40,6 +40,13 @@ from repro.backends.base import (
     BackendLifecycle,
     Pairs,
 )
+from repro.cache import (
+    LRUCacheStore,
+    areas_nbytes,
+    copy_areas,
+    merge_key,
+    shard_key,
+)
 from repro.cluster import wire
 from repro.cluster.scheduler import (
     Shard,
@@ -301,6 +308,12 @@ class ClusterBackend(BackendLifecycle):
         Pairs per shard; ``None`` asks the cost model per request.
     speculate:
         Enable straggler re-dispatch.
+    shard_cache_bytes, merge_cache_bytes:
+        Coordinator-side result caches, both off (``0``) by default and
+        enabled by ``CompareOptions(cache=True)``.  The shard cache
+        settles shards without dispatching them (keyed exactly like the
+        workers' own result caches); the merge cache returns a fully
+        assembled request straight from the bundle digest.
     """
 
     name = "cluster"
@@ -316,6 +329,8 @@ class ClusterBackend(BackendLifecycle):
         loopback_workers: int | None = None,
         connect_timeout: float = 5.0,
         io_timeout: float = 60.0,
+        shard_cache_bytes: int = 0,
+        merge_cache_bytes: int = 0,
     ):
         if hosts is None:
             hosts = os.environ.get("REPRO_CLUSTER_HOSTS") or None
@@ -342,6 +357,16 @@ class ClusterBackend(BackendLifecycle):
         self.io_timeout = io_timeout
         self._clients: list[WorkerClient] | None = None
         self._loopback = None
+        self._shard_cache = (
+            LRUCacheStore(shard_cache_bytes, name="coordinator.shard")
+            if shard_cache_bytes > 0
+            else None
+        )
+        self._merge_cache = (
+            LRUCacheStore(merge_cache_bytes, name="coordinator.merge")
+            if merge_cache_bytes > 0
+            else None
+        )
         self._lock = threading.Lock()
         # One remote dispatch at a time: scheduler threads own the worker
         # sockets for the duration of a request (mirrors the exclusive
@@ -418,6 +443,22 @@ class ClusterBackend(BackendLifecycle):
         if loopback is not None:
             loopback.close()
 
+    def cache_stats(self) -> dict[str, dict]:
+        """Snapshots of the coordinator-side caches that are enabled."""
+        out: dict[str, dict] = {}
+        if self._shard_cache is not None:
+            out["coordinator.shard"] = self._shard_cache.snapshot().as_dict()
+        if self._merge_cache is not None:
+            out["coordinator.merge"] = self._merge_cache.snapshot().as_dict()
+        return out
+
+    def clear_caches(self) -> None:
+        """Drop every coordinator-side cached result."""
+        if self._shard_cache is not None:
+            self._shard_cache.clear()
+        if self._merge_cache is not None:
+            self._merge_cache.clear()
+
     @property
     def table_transfers(self) -> int:
         """Total table bundles actually transmitted (all workers)."""
@@ -438,7 +479,8 @@ class ClusterBackend(BackendLifecycle):
             zero = np.zeros(0, dtype=np.int64)
             return BatchAreas(zero, zero.copy(), zero.copy(), zero.copy(), stats)
 
-        kernel = ChunkKernel(shard_policy(), cfg)
+        policy = shard_policy()
+        kernel = ChunkKernel(policy, cfg)
         a_p, a_q, boxes, has_box = kernel.route_pairs(pairs)
         table_p = EdgeTable.build([p for p, _ in pairs])
         table_q = EdgeTable.build([q for _, q in pairs])
@@ -465,6 +507,11 @@ class ClusterBackend(BackendLifecycle):
             "has_box": has_box,
         }
         digest = wire.bundle_digest(bundle)
+        if self._merge_cache is not None:
+            mkey = merge_key(digest, policy, cfg)
+            cached = self._merge_cache.get(mkey)
+            if cached is not None:
+                return copy_areas(cached)
         with self._dispatch_lock:
             clients = self._live_clients(digest, bundle)
             shards = self._plan_shards(pairs, cfg, n, max(1, len(clients)))
@@ -487,11 +534,38 @@ class ClusterBackend(BackendLifecycle):
                 client.note_success()
                 return outcome
 
+            cache_lookup = cache_store = None
+            if self._shard_cache is not None:
+
+                def cache_lookup(shard: Shard) -> ShardOutcome | None:
+                    hit = self._shard_cache.get(
+                        shard_key(digest, shard.lo, shard.hi, policy, cfg)
+                    )
+                    if hit is None:
+                        return None
+                    return ShardOutcome(
+                        inter=hit.inter.copy(),
+                        stats=KernelStats(**hit.stats.as_dict()),
+                    )
+
+                def cache_store(shard: Shard, outcome: ShardOutcome) -> None:
+                    entry = ShardOutcome(
+                        inter=outcome.inter.copy(),
+                        stats=KernelStats(**outcome.stats.as_dict()),
+                    )
+                    self._shard_cache.put(
+                        shard_key(digest, shard.lo, shard.hi, policy, cfg),
+                        entry,
+                        entry.inter.nbytes + 256,
+                    )
+
             scheduler = ShardScheduler(
                 remote_run,
                 local_run,
                 speculate=self.speculate,
                 speculation_delay=self.speculation_delay,
+                cache_lookup=cache_lookup,
+                cache_store=cache_store,
             )
             outcomes, report = scheduler.execute(shards, clients)
             self.last_report = report
@@ -508,7 +582,11 @@ class ClusterBackend(BackendLifecycle):
             inter[shard.lo : shard.hi] = outcome.inter
             stats.merge(outcome.stats)
         union = kernel.finalize_union(inter, None, a_p, a_q, has_box)
-        return BatchAreas(inter, union, a_p, a_q, stats)
+        result = BatchAreas(inter, union, a_p, a_q, stats)
+        if self._merge_cache is not None:
+            entry = copy_areas(result)
+            self._merge_cache.put(mkey, entry, areas_nbytes(entry))
+        return result
 
     # ------------------------------------------------------------------
     def _live_clients(

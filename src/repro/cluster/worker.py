@@ -32,13 +32,19 @@ from collections import OrderedDict
 
 import numpy as np
 
+from repro.cache import LRUCacheStore, copy_shard_result, shard_key, shard_result_nbytes
 from repro.cluster import wire
 from repro.errors import ClusterProtocolError, ReproError
 from repro.pixelbox.common import KernelStats
 from repro.pixelbox.kernel import ChunkKernel, shard_policy
 from repro.pixelbox.vectorized import EdgeTable
 
-__all__ = ["ShardWorker", "TABLE_FIELDS"]
+__all__ = ["DEFAULT_RESULT_CACHE_BYTES", "ShardWorker", "TABLE_FIELDS"]
+
+# Default byte budget for the worker-side shard-result cache: big enough
+# that speculation/re-dispatch of a live request always hits, small
+# enough to be invisible next to the table cache itself.
+DEFAULT_RESULT_CACHE_BYTES = 64 * 2**20
 
 # Fields of one serialized EdgeTable, in manifest order (shared with the
 # coordinator; mirrors the multiprocess backend's shared-memory layout).
@@ -69,6 +75,12 @@ class ShardWorker:
         Results are bit-for-bit identical either way — only wall-clock
         differs — so a heterogeneous cluster (some workers compiled,
         some not) stays exact.
+    result_cache_bytes:
+        Byte budget of the shard-result cache (LRU).  A ``RUN_SHARD``
+        whose ``(bundle digest, range, policy, config)`` was computed
+        before answers from the cache, which makes straggler
+        speculation, failure re-dispatch, and service retries free.
+        ``0`` disables result caching entirely.
     """
 
     def __init__(
@@ -77,6 +89,7 @@ class ShardWorker:
         port: int = 0,
         max_tables: int = 8,
         substrate: str = "auto",
+        result_cache_bytes: int = DEFAULT_RESULT_CACHE_BYTES,
     ):
         if max_tables < 1:
             raise ReproError(f"max_tables must be >= 1, got {max_tables}")
@@ -99,6 +112,11 @@ class ShardWorker:
         self.substrate = substrate
         self.max_tables = max_tables
         self._tables: OrderedDict[str, dict[str, np.ndarray]] = OrderedDict()
+        self._results = (
+            LRUCacheStore(result_cache_bytes, name="worker.shard")
+            if result_cache_bytes > 0
+            else None
+        )
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._listener: socket.socket | None = None
@@ -108,6 +126,7 @@ class ShardWorker:
         self.tables_received = 0
         self.tables_evicted = 0
         self.shards_run = 0
+        self.shard_hits = 0
         self.protocol_errors = 0
         self._requested_port = port
 
@@ -345,19 +364,31 @@ class ShardWorker:
             )
         cfg = wire.config_from_wire(header.get("config"))
         self._before_shard(header)
-        stats = KernelStats()
-        kernel = ChunkKernel(shard_policy(substrate=self.substrate), cfg)
-        inter, _ = kernel.run_shard(
-            table_from_bundle(bundle, "p"),
-            table_from_bundle(bundle, "q"),
-            bundle["boxes"],
-            bundle["has_box"],
-            lo,
-            hi,
-            stats,
-        )
-        with self._lock:
-            self.shards_run += 1
+        policy = shard_policy(substrate=self.substrate)
+        key = shard_key(digest, lo, hi, policy, cfg)
+        cached = self._results.get(key) if self._results is not None else None
+        if cached is not None:
+            inter, stats_dict = copy_shard_result(cached)
+            with self._lock:
+                self.shard_hits += 1
+        else:
+            stats = KernelStats()
+            kernel = ChunkKernel(policy, cfg)
+            inter, _ = kernel.run_shard(
+                table_from_bundle(bundle, "p"),
+                table_from_bundle(bundle, "q"),
+                bundle["boxes"],
+                bundle["has_box"],
+                lo,
+                hi,
+                stats,
+            )
+            stats_dict = stats.as_dict()
+            with self._lock:
+                self.shards_run += 1
+            if self._results is not None:
+                entry = copy_shard_result((inter, stats_dict))
+                self._results.put(key, entry, shard_result_nbytes(entry))
         wire.send_frame(
             conn,
             wire.MsgType.SHARD_RESULT,
@@ -365,19 +396,23 @@ class ShardWorker:
                 "task": header.get("task"),
                 "lo": lo,
                 "hi": hi,
-                "stats": stats.as_dict(),
+                "stats": stats_dict,
             },
             {"inter": inter},
         )
 
-    def stats(self) -> dict[str, int]:
+    def stats(self) -> dict:
         """Observability counters (also served over ``STATS``)."""
         with self._lock:
             cached = len(self._tables)
-        return {
+        out = {
             "cached_tables": cached,
             "tables_received": self.tables_received,
             "tables_evicted": self.tables_evicted,
             "shards_run": self.shards_run,
+            "shard_hits": self.shard_hits,
             "protocol_errors": self.protocol_errors,
         }
+        if self._results is not None:
+            out["result_cache"] = self._results.snapshot().as_dict()
+        return out

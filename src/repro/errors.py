@@ -20,6 +20,7 @@ __all__ = [
     "CatalogError",
     "KernelError",
     "BackendError",
+    "CacheError",
     "DeviceError",
     "PipelineError",
     "BufferClosedError",
@@ -84,6 +85,10 @@ class KernelError(ReproError):
 class BackendError(KernelError):
     """An execution backend cannot run here (e.g. its optional compiled
     dependency is not installed); the message names the missing extra."""
+
+
+class CacheError(ReproError):
+    """Result-cache misuse (bad byte budget, malformed cache key)."""
 
 
 class DeviceError(ReproError):

@@ -17,7 +17,8 @@ its boot storm.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -45,8 +46,11 @@ class ServiceSnapshot:
     mean_batch_pairs: float
     p50_ms: float
     p99_ms: float
+    request_cache_hits: int = 0
+    request_cache_misses: int = 0
+    caches: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
 
-    def as_dict(self) -> dict[str, float | int]:
+    def as_dict(self) -> dict[str, Any]:
         """Plain-dict view (wire protocol / reports)."""
         return {
             "requests": self.requests,
@@ -63,6 +67,9 @@ class ServiceSnapshot:
             "mean_batch_pairs": self.mean_batch_pairs,
             "p50_ms": self.p50_ms,
             "p99_ms": self.p99_ms,
+            "request_cache_hits": self.request_cache_hits,
+            "request_cache_misses": self.request_cache_misses,
+            "caches": {name: dict(snap) for name, snap in self.caches.items()},
         }
 
     def render(self) -> str:
@@ -80,6 +87,15 @@ class ServiceSnapshot:
                 f"peak={self.max_queue_depth}",
                 f"latency   p50={self.p50_ms:.2f}ms p99={self.p99_ms:.2f}ms",
             ]
+            + (
+                [
+                    f"cache     hits={self.request_cache_hits} "
+                    f"misses={self.request_cache_misses} "
+                    f"tiers={','.join(sorted(self.caches)) or 'none'}"
+                ]
+                if self.caches or self.request_cache_hits or self.request_cache_misses
+                else []
+            )
         )
 
 
@@ -101,6 +117,12 @@ class ServiceMetrics:
         self._max_queue_depth = 0
         self._latencies: list[float] = []
         self._latency_cursor = 0
+        self._request_cache_hits = 0
+        self._request_cache_misses = 0
+        # Attached cache stores (anything with a ``snapshot().as_dict()``),
+        # read at snapshot time so tier counters and service counters
+        # always appear together.
+        self._caches: dict[str, Any] = {}
 
     # ------------------------------------------------------------------
     # Recording (service side)
@@ -132,6 +154,24 @@ class ServiceMetrics:
     def note_failure(self) -> None:
         with self._lock:
             self._failures += 1
+
+    def note_request_cache(self, hit: bool) -> None:
+        """One request-cache lookup (hit or miss)."""
+        with self._lock:
+            if hit:
+                self._request_cache_hits += 1
+            else:
+                self._request_cache_misses += 1
+
+    def attach_cache(self, name: str, store) -> None:
+        """Surface a cache tier in snapshots.
+
+        ``store`` is either a :class:`repro.cache.CacheStore` (read via
+        ``snapshot().as_dict()``) or a zero-argument callable returning
+        the tier's counter dict (how backend-owned tiers are attached).
+        """
+        with self._lock:
+            self._caches[name] = store
 
     def note_batch(self, requests: int, pairs: int) -> None:
         """One coalesced dispatch of ``requests`` requests, ``pairs`` pairs."""
@@ -180,4 +220,14 @@ class ServiceMetrics:
                 mean_batch_pairs=self._pairs / batches if batches else 0.0,
                 p50_ms=p50,
                 p99_ms=p99,
+                request_cache_hits=self._request_cache_hits,
+                request_cache_misses=self._request_cache_misses,
+                caches={
+                    name: (
+                        store.snapshot().as_dict()
+                        if hasattr(store, "snapshot")
+                        else store()
+                    )
+                    for name, store in self._caches.items()
+                },
             )

@@ -91,6 +91,10 @@ class ServiceClient:
         """Service-metrics snapshot (see :mod:`repro.metrics.service`)."""
         return self._call("stats")["stats"]
 
+    def cache_clear(self) -> bool:
+        """Drop every cache tier on the server (request + backend)."""
+        return bool(self._call("cache_clear").get("cleared"))
+
     def shutdown(self) -> None:
         """Ask the server to stop accepting and drain; returns once acked."""
         self._call("shutdown")

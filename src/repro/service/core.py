@@ -46,6 +46,7 @@ import numpy as np
 from repro.backends import get_backend
 from repro.backends.auto import profile_pairs
 from repro.backends.base import Backend, Pairs
+from repro.cache import LRUCacheStore, areas_nbytes, copy_areas, pairs_key
 from repro.errors import (
     KernelError,
     ReproError,
@@ -97,6 +98,14 @@ class ServiceConfig:
     default_timeout:
         Per-request timeout in seconds applied when ``submit`` is not
         given one; ``None`` means wait indefinitely.
+    cache:
+        Enable the service's content-addressed request cache: results
+        are keyed by pair geometry + launch parameters, repeat requests
+        are answered without a backend dispatch, and identical
+        concurrent requests within one coalesced batch are computed
+        once.  Off by default.
+    cache_bytes:
+        Byte budget of the request cache (LRU eviction past it).
     """
 
     backend: str = "batch"
@@ -105,6 +114,8 @@ class ServiceConfig:
     max_batch_pairs: int | None = None
     coalesce_window: float = 0.002
     default_timeout: float | None = None
+    cache: bool = False
+    cache_bytes: int = 64 * 2**20
     #: The CompareOptions this config was derived from (when built with
     #: :meth:`from_options`); the wire front-end overlays per-request
     #: launch parameters onto it so every service request parses into
@@ -123,6 +134,8 @@ class ServiceConfig:
         return cls(
             backend=options.backend,
             backend_options=options.resolved_backend_options(),
+            cache=options.cache,
+            cache_bytes=options.cache_bytes,
             base_options=options,
             **serving_knobs,
         )
@@ -148,6 +161,10 @@ class ServiceConfig:
             raise ServiceError("coalesce_window cannot be negative")
         if self.default_timeout is not None and self.default_timeout <= 0:
             raise ServiceError("default_timeout must be positive")
+        if self.cache_bytes < 1:
+            raise ServiceError(
+                f"cache_bytes must be >= 1, got {self.cache_bytes}"
+            )
 
 
 @dataclass(slots=True)
@@ -158,6 +175,8 @@ class _Request:
     config: LaunchConfig | None
     future: asyncio.Future
     enqueued: float
+    #: Content-addressed request-cache key (``None`` with caching off).
+    key: str | None = None
 
     @property
     def size(self) -> int:
@@ -208,6 +227,12 @@ class ComparisonService:
         self._dispatcher: asyncio.Task | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._closed = False
+        self._request_cache: LRUCacheStore | None = None
+        if self.config.cache:
+            self._request_cache = LRUCacheStore(
+                self.config.cache_bytes, name="service.request"
+            )
+            self.metrics.attach_cache("service.request", self._request_cache)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -259,6 +284,15 @@ class ComparisonService:
                         f"backend {self.config.backend!r} failed to warm: "
                         f"{exc}"
                     ) from exc
+        cache_stats = getattr(self._backend, "cache_stats", None)
+        if callable(cache_stats):
+            # Surface backend-owned cache tiers (coordinator shard/merge,
+            # pooled shard-result stores) in the same metrics snapshot as
+            # the request tier; read lazily so counters stay live.
+            for tier in cache_stats():
+                self.metrics.attach_cache(
+                    tier, lambda t=tier: cache_stats().get(t, {})
+                )
         self._queue = asyncio.Queue(maxsize=self.config.max_queue)
         self._dispatcher = loop.create_task(self._dispatch_loop())
         return self
@@ -332,11 +366,27 @@ class ComparisonService:
         if timeout is _UNSET:
             timeout = self.config.default_timeout
         loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        pairs = list(pairs)
+        key: str | None = None
+        if self._request_cache is not None:
+            key = pairs_key(pairs, config or LaunchConfig())
+            cached = self._request_cache.get(key)
+            if cached is not None:
+                # Served at admission: no queue slot, no dispatch.  The
+                # request still counts as accepted + completed so the
+                # throughput counters describe real traffic.
+                self.metrics.note_request_cache(True)
+                self.metrics.note_enqueued(self._queue.qsize())
+                self.metrics.note_completed(time.perf_counter() - started)
+                return copy_areas(cached)
+            self.metrics.note_request_cache(False)
         request = _Request(
-            pairs=list(pairs),
+            pairs=pairs,
             config=config,
             future=loop.create_future(),
-            enqueued=time.perf_counter(),
+            enqueued=started,
+            key=key,
         )
         try:
             self._queue.put_nowait(request)
@@ -368,9 +418,58 @@ class ComparisonService:
         """The warm backend instance (``None`` before start/after close)."""
         return self._backend
 
+    def clear_caches(self) -> None:
+        """Drop every cache tier (request cache + backend-owned tiers)."""
+        if self._request_cache is not None:
+            self._request_cache.clear()
+        clear = getattr(self._backend, "clear_caches", None)
+        if callable(clear):
+            clear()
+
     # ------------------------------------------------------------------
     # Dispatcher
     # ------------------------------------------------------------------
+    def _serve_cached(self, live: list[_Request]) -> list[_Request]:
+        """Answer queued requests the cache can already satisfy."""
+        still: list[_Request] = []
+        now = time.perf_counter()
+        for r in live:
+            # contains() first so a request that missed at admission does
+            # not count a second store-level miss here.
+            if r.key is not None and self._request_cache.contains(r.key):
+                cached = self._request_cache.get(r.key)
+                if cached is not None:
+                    if not r.future.done():
+                        r.future.set_result(copy_areas(cached))
+                        self.metrics.note_request_cache(True)
+                        self.metrics.note_completed(now - r.enqueued)
+                    continue
+            still.append(r)
+        return still
+
+    @staticmethod
+    def _dedupe(
+        live: list[_Request],
+    ) -> tuple[list[_Request], dict[int, list[_Request]]]:
+        """Collapse identical keyed requests within one dispatch.
+
+        Returns ``(leaders, riders)``: the requests whose pairs actually
+        enter the merged launch, and for each leader (by identity) the
+        requests that will be answered with copies of its slice.
+        """
+        leaders: list[_Request] = []
+        riders: dict[int, list[_Request]] = {}
+        by_key: dict[str, _Request] = {}
+        for r in live:
+            leader = by_key.get(r.key) if r.key is not None else None
+            if leader is not None:
+                riders.setdefault(id(leader), []).append(r)
+                continue
+            if r.key is not None:
+                by_key[r.key] = r
+            leaders.append(r)
+        return leaders, riders
+
     def _batch_budget(self, head: _Request) -> int:
         """Pair budget for the dispatch opened by ``head``."""
         if self.config.max_batch_pairs is not None:
@@ -463,12 +562,22 @@ class ComparisonService:
                 live = [r for r in batch if not r.future.done()]
                 held = list(live)
                 self.metrics.note_queue_depth(self._queue.qsize())
+                if self._request_cache is not None:
+                    # Requests that missed at admission may have been
+                    # filled while they waited in the queue; serve them
+                    # now rather than recomputing.
+                    live = self._serve_cached(live)
+                    held = list(live)
                 if not live:
                     held = []
                     continue
-                merged = [pair for r in live for pair in r.pairs]
+                # Within one dispatch, identical keyed requests collapse
+                # to a single leader; riders are answered with copies of
+                # the leader's slice after the launch.
+                leaders, riders = self._dedupe(live)
+                merged = [pair for r in leaders for pair in r.pairs]
                 call = functools.partial(
-                    self._backend.compare_pairs, merged, live[0].config
+                    self._backend.compare_pairs, merged, leaders[0].config
                 )
                 try:
                     areas = await loop.run_in_executor(self._executor, call)
@@ -484,12 +593,22 @@ class ComparisonService:
                 self.metrics.note_batch(requests=len(live), pairs=len(merged))
                 offset = 0
                 now = time.perf_counter()
-                for r in live:
+                for r in leaders:
                     lo, offset = offset, offset + r.size
-                    if r.future.done():  # cancelled while the batch ran
-                        continue
-                    r.future.set_result(_slice_result(areas, lo, offset))
-                    self.metrics.note_completed(now - r.enqueued)
+                    part = _slice_result(areas, lo, offset)
+                    if self._request_cache is not None and r.key is not None:
+                        entry = copy_areas(part)
+                        self._request_cache.put(
+                            r.key, entry, areas_nbytes(entry)
+                        )
+                    if not r.future.done():  # cancelled while batch ran
+                        r.future.set_result(part)
+                        self.metrics.note_completed(now - r.enqueued)
+                    for rider in riders.get(id(r), ()):
+                        if not rider.future.done():
+                            rider.future.set_result(copy_areas(part))
+                            self.metrics.note_request_cache(True)
+                            self.metrics.note_completed(now - rider.enqueued)
                 held = []
         except asyncio.CancelledError:
             for r in held + ([carry] if carry is not None else []):

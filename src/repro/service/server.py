@@ -37,6 +37,9 @@ async def _answer(
         return {"ok": True, "pong": True}
     if op == "stats":
         return {"ok": True, "stats": service.snapshot().as_dict()}
+    if op == "cache_clear":
+        service.clear_caches()
+        return {"ok": True, "cleared": True}
     if op == "shutdown":
         shutdown.set()
         return {"ok": True, "stopping": True}

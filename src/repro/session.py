@@ -47,6 +47,14 @@ from repro.api.options import CompareOptions
 from repro.api.plan import ResolvedPlan, explain as _explain
 from repro.api.request import CompareRequest, Pair
 from repro.api.result import CompareResult, PairOutcome
+from repro.cache import (
+    LRUCacheStore,
+    SingleFlight,
+    areas_nbytes,
+    calibration_fingerprint,
+    copy_areas,
+    request_key,
+)
 from repro.errors import RequestError, SessionClosedError
 from repro.metrics.jaccard import jaccard_from_areas
 from repro.pixelbox.engine import BatchAreas
@@ -113,6 +121,11 @@ class Session:
         self.options = base.replace(**overrides) if overrides else base
         self._backend = None
         self._closed = False
+        # Front-door request cache (created lazily by the first request
+        # whose options enable caching) plus the stampede guard that
+        # keeps N concurrent identical requests at one computation.
+        self._request_cache: LRUCacheStore | None = None
+        self._flight = SingleFlight()
         self._lock = threading.Lock()
         # One launch at a time on the warm backend (the exclusive-device
         # contract GpuDevice enforces for the pipeline); concurrent
@@ -210,7 +223,54 @@ class Session:
             return self._run_sets(request)
         return self._run_files(request)
 
+    def _store_for(self, options: CompareOptions) -> LRUCacheStore | None:
+        """The request-cache store, iff ``options`` enable caching."""
+        if not options.cache:
+            return None
+        with self._lock:
+            if self._request_cache is None:
+                self._request_cache = LRUCacheStore(
+                    options.cache_bytes, name="session.request"
+                )
+            return self._request_cache
+
+    def _request_cache_key(self, request: CompareRequest) -> str:
+        """Canonical request JSON + effective cost-profile fingerprint.
+
+        The fingerprint is the same calibration ``explain()`` resolves,
+        so a profile change invalidates cached answers exactly when it
+        would change the plan — the two can never disagree.
+        """
+        calibration = _profile_calibration(request.options)
+        if calibration is None:
+            from repro.gpu.cost import active_calibration
+
+            calibration = active_calibration()
+        return request_key(
+            request, extra=(calibration_fingerprint(calibration),)
+        )
+
     def _run_pairs(self, request: CompareRequest) -> BatchAreas:
+        store = self._store_for(request.options)
+        if store is None:
+            return self._execute_pairs(request)
+        key = self._request_cache_key(request)
+        cached = store.get(key)
+        if cached is not None:
+            return copy_areas(cached)
+
+        value, leader = self._flight.do(
+            key, lambda: self._execute_pairs(request)
+        )
+        if leader:
+            entry = copy_areas(value)
+            store.put(key, entry, areas_nbytes(entry))
+            return value
+        # Followers share the leader's flight but must not share its
+        # arrays: a caller may mutate what it gets back.
+        return copy_areas(value)
+
+    def _execute_pairs(self, request: CompareRequest) -> BatchAreas:
         backend, throwaway = self._backend_for(request.options)
         try:
             if throwaway:
@@ -417,5 +477,42 @@ class Session:
     # Planning
     # ------------------------------------------------------------------
     def explain(self, request: CompareRequest) -> ResolvedPlan:
-        """Resolve ``request`` into its plan without executing it."""
-        return _explain(request)
+        """Resolve ``request`` into its plan without executing it.
+
+        The plan's cache section is answered against *this* session's
+        request cache, so ``would_hit`` tells the truth about what a
+        :meth:`run` of the same request would do here.
+        """
+        # Resolve the store exactly as the run path would (creating it
+        # for a cache-enabled request), so the first explain of a fresh
+        # session answers would_hit=False rather than "no store".
+        return _explain(
+            request, request_cache=self._store_for(request.options)
+        )
+
+    # ------------------------------------------------------------------
+    # Cache observability
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict[str, dict]:
+        """Snapshots of every cache tier this session can see."""
+        with self._lock:
+            store = self._request_cache
+            backend = self._backend
+        out: dict[str, dict] = {}
+        if store is not None:
+            out["session.request"] = store.snapshot().as_dict()
+        stats = getattr(backend, "cache_stats", None)
+        if callable(stats):
+            out.update(stats())
+        return out
+
+    def clear_caches(self) -> None:
+        """Drop every cached result (request tier + backend tiers)."""
+        with self._lock:
+            store = self._request_cache
+            backend = self._backend
+        if store is not None:
+            store.clear()
+        clear = getattr(backend, "clear_caches", None)
+        if callable(clear):
+            clear()

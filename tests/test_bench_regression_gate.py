@@ -1,0 +1,102 @@
+"""The benchmark regression gate: comparison logic + committed baseline.
+
+Mirrors the CI step (``python tools/check_bench_regression.py``) the
+same way the api-surface guard is tested: load the tool by path,
+exercise its comparison logic on synthetic reports, and pin that the
+committed baseline file exists and parses.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "check_bench_regression",
+        REPO_ROOT / "tools" / "check_bench_regression.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _report(rates: dict[tuple[str, int], float]) -> dict:
+    return {
+        "backends": [
+            {
+                "backend": backend,
+                "workers": workers,
+                "pairs_per_second": rate,
+            }
+            for (backend, workers), rate in rates.items()
+        ]
+    }
+
+
+def test_baseline_is_checked_in():
+    baseline = REPO_ROOT / "benchmarks" / "baselines"
+    path = baseline / "BENCH_backend_scaling.json"
+    assert path.exists(), "commit a baseline BENCH_backend_scaling.json"
+    report = json.loads(path.read_text())
+    assert report["backends"], "baseline must contain backend rows"
+    for row in report["backends"]:
+        assert row["pairs_per_second"] > 0
+
+
+def test_identical_reports_pass():
+    tool = _load_tool()
+    rates = {("vectorized", 1): 30000.0, ("multiprocess", 2): 25000.0}
+    failures, notes = tool.compare(rates, dict(rates), min_ratio=0.5)
+    assert failures == []
+    assert len(notes) == 2
+
+
+def test_regression_below_floor_fails():
+    tool = _load_tool()
+    baseline = {("vectorized", 1): 30000.0, ("multiprocess", 2): 25000.0}
+    fresh = {("vectorized", 1): 30000.0, ("multiprocess", 2): 10000.0}
+    failures, _ = tool.compare(fresh, baseline, min_ratio=0.5)
+    assert len(failures) == 1
+    assert "multiprocess (workers=2)" in failures[0]
+
+
+def test_noise_within_band_passes():
+    tool = _load_tool()
+    baseline = {("vectorized", 1): 30000.0}
+    fresh = {("vectorized", 1): 16000.0}  # 0.53x: noisy but above floor
+    failures, _ = tool.compare(fresh, baseline, min_ratio=0.5)
+    assert failures == []
+
+
+def test_unmatched_configurations_never_fail():
+    tool = _load_tool()
+    baseline = {("vectorized", 1): 30000.0, ("retired", 1): 1.0}
+    fresh = {("vectorized", 1): 30000.0, ("brand-new", 8): 1.0}
+    failures, notes = tool.compare(fresh, baseline, min_ratio=0.5)
+    assert failures == []
+    assert any("in baseline only" in n for n in notes)
+    assert any("not in baseline" in n for n in notes)
+
+
+def test_main_gates_files(tmp_path, capsys):
+    tool = _load_tool()
+    good = _report({("vectorized", 1): 30000.0})
+    bad = _report({("vectorized", 1): 1000.0})
+    (tmp_path / "baseline.json").write_text(json.dumps(good))
+    (tmp_path / "fresh_ok.json").write_text(json.dumps(good))
+    (tmp_path / "fresh_bad.json").write_text(json.dumps(bad))
+    ok = tool.main(
+        [str(tmp_path / "fresh_ok.json"), str(tmp_path / "baseline.json")]
+    )
+    assert ok == 0
+    bad_rc = tool.main(
+        [str(tmp_path / "fresh_bad.json"), str(tmp_path / "baseline.json")]
+    )
+    assert bad_rc == 1
+    assert tool.main([str(tmp_path / "missing.json")]) == 2
+    capsys.readouterr()

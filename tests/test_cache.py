@@ -1,0 +1,637 @@
+"""The content-addressed result cache: store, keys, and every tier.
+
+The cache's one correctness contract is *transparency*: a cached hit
+must be bit-for-bit identical to the cold computation it replaces —
+areas **and** kernel work counters — across every backend, and any
+change to what would be computed (options, launch parameters, execution
+policy, cost profile) must change the cache key.  These tests pin that
+contract from below (store/key units) and from above (registry-driven
+hit-equals-miss across all available backends, stampede collapse in the
+session and the service).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from conftest import random_pair
+from repro.api import CompareOptions, CompareRequest, Session
+from repro.backends import available_backends, backend_availability
+from repro.cache import (
+    CacheSnapshot,
+    LRUCacheStore,
+    SingleFlight,
+    calibration_fingerprint,
+    config_token,
+    copy_areas,
+    merge_key,
+    pairs_key,
+    policy_token,
+    request_key,
+    shard_key,
+)
+from repro.errors import CacheError
+from repro.gpu.cost import CostCalibration
+from repro.pixelbox.common import LaunchConfig, Method
+from repro.pixelbox.kernel import ExecutionPolicy
+
+
+@pytest.fixture
+def pairs(rng):
+    return [random_pair(rng) for _ in range(12)]
+
+
+# ----------------------------------------------------------------------
+# LRUCacheStore
+# ----------------------------------------------------------------------
+class TestLRUCacheStore:
+    def test_miss_then_hit(self):
+        store = LRUCacheStore(1024, name="t")
+        assert store.get("k") is None
+        store.put("k", "value", 10)
+        assert store.get("k") == "value"
+        snap = store.snapshot()
+        assert (snap.hits, snap.misses, snap.insertions) == (1, 1, 1)
+        assert snap.entries == 1
+        assert snap.current_bytes == 10
+
+    def test_eviction_is_lru_ordered(self):
+        store = LRUCacheStore(100, name="t")
+        store.put("a", 1, 40)
+        store.put("b", 2, 40)
+        # Touch "a" so "b" is the least recently used entry.
+        assert store.get("a") == 1
+        store.put("c", 3, 40)  # 120 bytes > 100: evict "b", not "a"
+        assert store.get("b") is None
+        assert store.get("a") == 1
+        assert store.get("c") == 3
+        snap = store.snapshot()
+        assert snap.evictions == 1
+        assert snap.current_bytes <= 100
+
+    def test_eviction_frees_enough_for_large_values(self):
+        store = LRUCacheStore(100, name="t")
+        for key in "abcd":
+            store.put(key, key, 25)
+        store.put("big", "big", 90)  # must evict several entries
+        assert store.get("big") == "big"
+        assert store.snapshot().current_bytes <= 100
+
+    def test_oversized_value_not_stored(self):
+        store = LRUCacheStore(50, name="t")
+        store.put("huge", "x", 51)
+        assert store.get("huge") is None
+        assert len(store) == 0
+        assert store.snapshot().insertions == 0
+
+    def test_replace_same_key_updates_bytes(self):
+        store = LRUCacheStore(100, name="t")
+        store.put("k", 1, 30)
+        store.put("k", 2, 60)
+        assert store.get("k") == 2
+        assert store.snapshot().current_bytes == 60
+        assert len(store) == 1
+
+    def test_contains_has_no_side_effects(self):
+        store = LRUCacheStore(100, name="t")
+        store.put("k", 1, 10)
+        before = store.snapshot()
+        assert store.contains("k")
+        assert not store.contains("other")
+        after = store.snapshot()
+        assert (after.hits, after.misses) == (before.hits, before.misses)
+
+    def test_clear(self):
+        store = LRUCacheStore(100, name="t")
+        store.put("k", 1, 10)
+        store.clear()
+        assert len(store) == 0
+        assert store.snapshot().current_bytes == 0
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(CacheError):
+            LRUCacheStore(0, name="t")
+        store = LRUCacheStore(10, name="t")
+        with pytest.raises(CacheError):
+            store.put("k", 1, -1)
+
+    def test_snapshot_round_trips(self):
+        store = LRUCacheStore(100, name="tier")
+        store.put("k", 1, 10)
+        store.get("k")
+        store.get("gone")
+        snap = store.snapshot()
+        assert isinstance(snap, CacheSnapshot)
+        d = snap.as_dict()
+        assert d["name"] == "tier"
+        assert d["hit_rate"] == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# SingleFlight
+# ----------------------------------------------------------------------
+class TestSingleFlight:
+    def test_stampede_computes_once(self):
+        flight = SingleFlight()
+        calls = []
+        gate = threading.Event()
+
+        def compute():
+            calls.append(1)
+            gate.wait(2.0)
+            return "answer"
+
+        results = []
+
+        def worker():
+            results.append(flight.do("k", compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)  # let every thread join the flight
+        gate.set()
+        for t in threads:
+            t.join(5.0)
+        assert len(calls) == 1
+        assert len(results) == 8
+        assert all(value == "answer" for value, _ in results)
+        assert sum(1 for _, leader in results if leader) == 1
+
+    def test_leader_exception_propagates_to_followers(self):
+        flight = SingleFlight()
+        gate = threading.Event()
+
+        def compute():
+            gate.wait(2.0)
+            raise ValueError("boom")
+
+        errors = []
+
+        def worker():
+            try:
+                flight.do("k", compute)
+            except ValueError as exc:
+                errors.append(str(exc))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.05)
+        gate.set()
+        for t in threads:
+            t.join(5.0)
+        assert errors == ["boom"] * 4
+        # The failed flight is retired: the next call computes fresh.
+        value, leader = flight.do("k", lambda: "recovered")
+        assert (value, leader) == ("recovered", True)
+
+
+# ----------------------------------------------------------------------
+# Key derivation: the invalidation matrix
+# ----------------------------------------------------------------------
+
+#: One non-default value per CompareOptions field.  Coverage is asserted
+#: below, so adding a field without a perturbation fails this suite —
+#: new knobs must be cache-relevant (or explicitly excluded here).
+_OPTIONS_PERTURB = {
+    "backend": "vectorized",
+    "backend_options": {"workers": 3},
+    "hosts": None,  # constrained: only valid with backend="cluster"
+    "cost_profile": None,  # exercised via the calibration fingerprint
+    "block_size": 32,
+    "pixel_threshold": 7,
+    "tight_mbr": False,
+    "leaf_mode": "crossing",
+    "parser_workers": 5,
+    "buffer_capacity": 16,
+    "batch_pairs": 999,
+    "migration": True,
+    "cache": True,
+    "cache_bytes": 2**20,
+}
+
+_POLICY_PERTURB = {
+    "method": Method.NOSEP,
+    "union_mode": "indirect",
+    "skip_subdivision_max_dim": 48,
+    "chunk_pairs": 123,
+    "substrate": "numba",
+}
+
+_CONFIG_PERTURB = {
+    "block_size": 32,
+    "pixel_threshold": 9,
+    "tight_mbr": True,
+    "leaf_mode": "crossing",
+}
+
+
+class TestKeyInvalidation:
+    def test_options_perturbations_cover_every_field(self):
+        assert set(_OPTIONS_PERTURB) == {
+            f.name for f in dataclasses.fields(CompareOptions)
+        }, "new CompareOptions field needs an invalidation perturbation"
+
+    def test_every_option_field_changes_the_request_key(self, pairs):
+        base = CompareRequest.from_pairs(pairs, CompareOptions())
+        base_key = request_key(base)
+        for name, value in _OPTIONS_PERTURB.items():
+            if value is None or value == getattr(CompareOptions(), name):
+                continue
+            request = CompareRequest.from_pairs(
+                pairs, CompareOptions(**{name: value})
+            )
+            assert request_key(request) != base_key, (
+                f"perturbing {name} must change the request key"
+            )
+
+    def test_policy_perturbations_cover_every_field(self):
+        assert set(_POLICY_PERTURB) == {
+            f.name for f in dataclasses.fields(ExecutionPolicy)
+        }, "new ExecutionPolicy field needs an invalidation perturbation"
+
+    def test_every_policy_field_changes_the_shard_key(self):
+        cfg = LaunchConfig()
+        base = shard_key("digest", 0, 64, ExecutionPolicy(), cfg)
+        for name, value in _POLICY_PERTURB.items():
+            policy = dataclasses.replace(ExecutionPolicy(), **{name: value})
+            assert shard_key("digest", 0, 64, policy, cfg) != base, (
+                f"perturbing {name} must change the shard key"
+            )
+
+    def test_config_perturbations_cover_every_field(self):
+        assert set(_CONFIG_PERTURB) == {
+            f.name for f in dataclasses.fields(LaunchConfig)
+        }, "new LaunchConfig field needs an invalidation perturbation"
+
+    def test_every_config_field_changes_the_shard_key(self):
+        policy = ExecutionPolicy()
+        base = shard_key("digest", 0, 64, policy, LaunchConfig())
+        for name, value in _CONFIG_PERTURB.items():
+            cfg = dataclasses.replace(LaunchConfig(), **{name: value})
+            assert shard_key("digest", 0, 64, policy, cfg) != base, (
+                f"perturbing {name} must change the shard key"
+            )
+
+    def test_shard_key_depends_on_bundle_and_range(self):
+        policy, cfg = ExecutionPolicy(), LaunchConfig()
+        base = shard_key("digest", 0, 64, policy, cfg)
+        assert shard_key("other", 0, 64, policy, cfg) != base
+        assert shard_key("digest", 0, 32, policy, cfg) != base
+        assert shard_key("digest", 32, 64, policy, cfg) != base
+        assert merge_key("digest", policy, cfg) != base
+
+    def test_calibration_fingerprint(self):
+        assert calibration_fingerprint(None) == "modeled"
+        a = CostCalibration(
+            cycles_per_second=1e9,
+            process_spinup_cycles=1e6,
+            shard_dispatch_cycles=1e5,
+        )
+        b = dataclasses.replace(a, cycles_per_second=2e9)
+        assert calibration_fingerprint(a) != calibration_fingerprint(b)
+        assert calibration_fingerprint(a) == calibration_fingerprint(
+            dataclasses.replace(a)
+        )
+
+    def test_calibration_invalidates_request_key(self, pairs):
+        cal = CostCalibration(
+            cycles_per_second=1e9,
+            process_spinup_cycles=1e6,
+            shard_dispatch_cycles=1e5,
+        )
+        request = CompareRequest.from_pairs(pairs, CompareOptions())
+        k_modeled = request_key(request, extra=(calibration_fingerprint(None),))
+        k_profile = request_key(
+            request, extra=(calibration_fingerprint(cal),)
+        )
+        assert k_modeled != k_profile
+
+    def test_pairs_key_tracks_geometry_and_config(self, rng):
+        pairs = [random_pair(rng) for _ in range(4)]
+        other = [random_pair(rng) for _ in range(4)]
+        cfg = LaunchConfig()
+        base = pairs_key(pairs, cfg)
+        assert pairs_key(pairs, cfg) == base  # deterministic
+        assert pairs_key(other, cfg) != base
+        assert pairs_key(list(reversed(pairs)), cfg) != base  # order matters
+        assert pairs_key(pairs, LaunchConfig(block_size=32)) != base
+        assert pairs_key(pairs, cfg, extra=("x",)) != base
+
+    def test_policy_and_config_tokens_are_stable(self):
+        assert policy_token(ExecutionPolicy()) == policy_token(
+            ExecutionPolicy()
+        )
+        assert config_token(LaunchConfig()) == config_token(LaunchConfig())
+
+
+# ----------------------------------------------------------------------
+# Session tier: registry-driven hit == miss, bit for bit
+# ----------------------------------------------------------------------
+
+def _assert_identical(a, b):
+    assert np.array_equal(a.intersection, b.intersection)
+    assert np.array_equal(a.union, b.union)
+    assert np.array_equal(a.area_p, b.area_p)
+    assert np.array_equal(a.area_q, b.area_q)
+    assert a.stats.as_dict() == b.stats.as_dict()
+
+
+def _backend_cache_options(name: str) -> CompareOptions:
+    extra = {}
+    if name == "cluster":
+        extra = {"backend_options": {"min_pairs": 1, "loopback_workers": 2}}
+    elif name == "multiprocess":
+        extra = {"backend_options": {"workers": 2, "min_pairs": 1}}
+    return CompareOptions(backend=name, cache=True, **extra)
+
+
+@pytest.mark.parametrize("name", available_backends())
+def test_cached_hit_is_bit_for_bit_cold_miss(name, pairs):
+    """The tentpole contract, for every registered backend."""
+    if backend_availability(name) is not None:
+        pytest.skip(backend_availability(name))
+    with Session(_backend_cache_options(name)) as session:
+        cold = session.compare(pairs)
+        warm = session.compare(pairs)
+        _assert_identical(cold, warm)
+        stats = session.cache_stats()
+        assert stats["session.request"]["hits"] == 1
+        assert stats["session.request"]["misses"] == 1
+
+
+def test_session_cache_off_by_default(pairs):
+    with Session(CompareOptions(backend="vectorized")) as session:
+        session.compare(pairs)
+        assert session.cache_stats() == {}
+
+
+def test_session_returned_arrays_are_isolated(pairs):
+    """Mutating a returned result must never corrupt the cache."""
+    with Session(CompareOptions(backend="vectorized", cache=True)) as session:
+        first = session.compare(pairs)
+        pristine = copy_areas(first)
+        first.intersection[:] = -1
+        first.union[:] = -1
+        again = session.compare(pairs)
+        _assert_identical(pristine, again)
+
+
+def test_session_cache_invalidated_by_launch_params(pairs):
+    with Session(CompareOptions(backend="vectorized", cache=True)) as session:
+        session.compare(pairs)
+        session.compare(
+            pairs,
+            CompareOptions(
+                backend="vectorized", cache=True, tight_mbr=False
+            ),
+        )
+        stats = session.cache_stats()
+        assert stats["session.request"]["hits"] == 0
+        assert stats["session.request"]["misses"] == 2
+
+
+def test_session_stampede_computes_once(pairs):
+    options = CompareOptions(backend="vectorized", cache=True)
+    with Session(options) as session:
+        calls = []
+        gate = threading.Event()
+        execute = session._execute_pairs
+
+        def slow_execute(request):
+            calls.append(1)
+            gate.wait(2.0)
+            return execute(request)
+
+        session._execute_pairs = slow_execute
+        results = []
+
+        def worker():
+            results.append(session.compare(pairs))
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)  # all submitters join the same flight
+        gate.set()
+        for t in threads:
+            t.join(10.0)
+        assert len(calls) == 1
+        assert len(results) == 6
+        for r in results[1:]:
+            _assert_identical(results[0], r)
+
+
+def test_session_eviction_under_memory_bound(rng):
+    """A budget smaller than two entries keeps exactly one resident."""
+    batches = [[random_pair(rng) for _ in range(4)] for _ in range(3)]
+    from repro.cache import areas_nbytes
+
+    with Session(CompareOptions(backend="vectorized", cache=True)) as probe:
+        one_entry = areas_nbytes(probe.compare(batches[0]))
+    options = CompareOptions(
+        backend="vectorized", cache=True, cache_bytes=int(one_entry * 1.5)
+    )
+    with Session(options) as session:
+        for batch in batches:
+            session.compare(batch)
+        stats = session.cache_stats()["session.request"]
+        assert stats["entries"] == 1
+        assert stats["evictions"] == 2
+        assert stats["current_bytes"] <= int(one_entry * 1.5)
+        # The survivor is the most recent batch.
+        session.compare(batches[-1])
+        assert session.cache_stats()["session.request"]["hits"] == 1
+
+
+def test_session_explain_reports_cache_plan(pairs):
+    options = CompareOptions(backend="vectorized", cache=True)
+    with Session(options) as session:
+        request = CompareRequest.from_pairs(pairs, options)
+        plan = session.explain(request)
+        assert plan.cache["enabled"] is True
+        assert plan.cache["would_hit"] is False
+        session.compare(pairs)
+        plan = session.explain(request)
+        assert plan.cache["would_hit"] is True
+        assert plan.cache["request_key"].startswith("request:")
+        # explain() itself must not perturb the counters.
+        assert session.cache_stats()["session.request"]["hits"] == 0
+
+
+def test_module_explain_cache_section(pairs):
+    from repro.api import explain
+
+    plan = explain(CompareRequest.from_pairs(pairs, CompareOptions()))
+    assert plan.cache == {
+        "enabled": False,
+        "cache_bytes": None,
+        "request_key": None,
+        "would_hit": None,
+    }
+    plan = explain(
+        CompareRequest.from_pairs(pairs, CompareOptions(cache=True))
+    )
+    assert plan.cache["enabled"] is True
+    assert plan.cache["request_key"] is not None
+    assert plan.cache["would_hit"] is None  # no store to consult
+    assert "cache" in plan.as_dict()
+
+
+def test_clear_caches_resets_stores(pairs):
+    with Session(CompareOptions(backend="vectorized", cache=True)) as session:
+        session.compare(pairs)
+        session.clear_caches()
+        assert session.cache_stats()["session.request"]["entries"] == 0
+        session.compare(pairs)  # recomputed: the entry really was dropped
+        stats = session.cache_stats()["session.request"]
+        assert stats["entries"] == 1
+        assert stats["insertions"] == 2  # counters are cumulative
+        assert stats["hits"] == 0
+
+
+# ----------------------------------------------------------------------
+# Backend tiers: coordinator + multiprocess shard caches
+# ----------------------------------------------------------------------
+
+def test_cluster_tiers_count_hits(pairs):
+    options = CompareOptions(
+        backend="cluster",
+        cache=True,
+        backend_options={"min_pairs": 1, "loopback_workers": 2},
+    )
+    with Session(options) as session:
+        cold = session.compare(pairs)
+        session.clear_caches()  # drop the request + coordinator tiers
+        # Workers keep their own shard-result tier across coordinator
+        # cache clears: the recompute is served from worker memory.
+        warm = session.compare(pairs)
+        _assert_identical(cold, warm)
+        stats = session.cache_stats()
+        assert stats["coordinator.merge"]["misses"] >= 2
+        assert stats["coordinator.shard"]["insertions"] >= 1
+
+
+def test_multiprocess_shard_tier(pairs):
+    options = CompareOptions(
+        backend="multiprocess",
+        cache=True,
+        backend_options={"workers": 2, "min_pairs": 1},
+    )
+    with Session(options) as session:
+        cold = session.compare(pairs)
+        session._request_cache.clear()  # force re-dispatch into the backend
+        warm = session.compare(pairs)
+        _assert_identical(cold, warm)
+        stats = session.cache_stats()
+        assert stats["multiprocess.shard"]["hits"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Service tier
+# ----------------------------------------------------------------------
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def test_service_request_cache_hit_and_isolation(pairs):
+    from repro.service import ComparisonService, ServiceConfig
+
+    async def scenario():
+        config = ServiceConfig(backend="vectorized", cache=True)
+        async with ComparisonService(config) as service:
+            cold = await service.submit(pairs)
+            warm = await service.submit(pairs)
+            _assert_identical(cold, warm)
+            cold.intersection[:] = -1  # callers may mutate their copy
+            again = await service.submit(pairs)
+            _assert_identical(warm, again)
+            snap = service.snapshot()
+            assert snap.request_cache_hits == 2
+            assert snap.request_cache_misses == 1
+            assert snap.caches["service.request"]["entries"] == 1
+            assert snap.batches == 1  # one real dispatch for three requests
+
+    _run(scenario())
+
+
+def test_service_stampede_dedupes_within_batch(pairs):
+    from repro.backends import get_backend
+    from repro.service import ComparisonService, ServiceConfig
+
+    class CountingBackend:
+        description = "counting test backend"
+
+        def __init__(self):
+            self._inner = get_backend("vectorized")
+            self.calls = 0
+            self.pairs_seen = 0
+
+        def compare_pairs(self, pairs, config=None):
+            self.calls += 1
+            self.pairs_seen += len(pairs)
+            return self._inner.compare_pairs(pairs, config)
+
+        def close(self):
+            self._inner.close()
+
+    backend = CountingBackend()
+
+    async def scenario():
+        config = ServiceConfig(
+            backend="vectorized", cache=True, coalesce_window=0.05
+        )
+        async with ComparisonService(config, backend=backend) as service:
+            results = await asyncio.gather(
+                *[service.submit(pairs) for _ in range(6)]
+            )
+            for r in results[1:]:
+                _assert_identical(results[0], r)
+            snap = service.snapshot()
+            # All six coalesced into one dispatch carrying ONE copy of
+            # the pairs: identical requests collapse to a leader.
+            assert backend.pairs_seen == len(pairs)
+            assert snap.request_cache_hits >= 5
+
+    _run(scenario())
+    assert backend.calls == 1
+
+
+def test_service_config_carries_cache_knobs():
+    from repro.errors import ServiceError
+    from repro.service import ServiceConfig
+
+    options = CompareOptions(backend="vectorized", cache=True, cache_bytes=2**20)
+    config = ServiceConfig.from_options(options)
+    assert config.cache is True
+    assert config.cache_bytes == 2**20
+    assert ServiceConfig().cache is False
+    with pytest.raises(ServiceError):
+        ServiceConfig(cache_bytes=0)
+
+
+def test_service_clear_caches(pairs):
+    from repro.service import ComparisonService, ServiceConfig
+
+    async def scenario():
+        config = ServiceConfig(backend="vectorized", cache=True)
+        async with ComparisonService(config) as service:
+            await service.submit(pairs)
+            service.clear_caches()
+            assert (
+                service.snapshot().caches["service.request"]["entries"] == 0
+            )
+            await service.submit(pairs)
+            snap = service.snapshot()
+            assert snap.request_cache_hits == 0
+            assert snap.request_cache_misses == 2
+
+    _run(scenario())

@@ -185,6 +185,64 @@ class TestTcpServer:
             client.close()
 
 
+@pytest.fixture()
+def cached_server():
+    """A TCP server with the request cache enabled; yields (host, port)."""
+    announced: queue.Queue[str] = queue.Queue()
+    done: queue.Queue[BaseException | None] = queue.Queue()
+
+    def run():
+        try:
+            asyncio.run(
+                serve(
+                    ServiceConfig(
+                        backend="batch", coalesce_window=0.02, cache=True
+                    ),
+                    port=0,
+                    announce=announced.put,
+                )
+            )
+            done.put(None)
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            done.put(exc)
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    _, _, host, port = announced.get(timeout=20).split()
+    yield host, int(port)
+    if thread.is_alive():
+        with ServiceClient(host, int(port)) as client:
+            client.shutdown()
+    thread.join(timeout=20)
+    assert not thread.is_alive(), "server thread did not exit"
+    error = done.get(timeout=5)
+    assert error is None, f"server raised: {error!r}"
+
+
+class TestCachedServer:
+    def test_warm_requests_hit_and_cache_clear_resets(
+        self, cached_server, tile_pairs
+    ):
+        host, port = cached_server
+        pairs = tile_pairs[:25]
+        with ServiceClient(host, port) as client:
+            cold = client.compare(pairs)
+            warm = client.compare(pairs)
+            for field in ("intersection", "union", "area_p", "area_q"):
+                assert np.array_equal(cold[field], warm[field])
+            stats = client.stats()
+            assert stats["request_cache_hits"] == 1
+            assert stats["request_cache_misses"] == 1
+            assert stats["caches"]["service.request"]["entries"] == 1
+            assert client.cache_clear()
+            stats = client.stats()
+            assert stats["caches"]["service.request"]["entries"] == 0
+            # Recomputed after the clear — and bit-for-bit identical.
+            again = client.compare(pairs)
+            assert np.array_equal(cold["intersection"], again["intersection"])
+            assert client.stats()["request_cache_misses"] == 2
+
+
 class TestStdioServer:
     def test_stdio_session_over_subprocess(self, tile_pairs):
         """`python -m repro serve --stdio`: serve a session, exit cleanly

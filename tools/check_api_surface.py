@@ -40,6 +40,7 @@ PUBLIC_MODULES = (
     "repro.session",
     "repro.errors",
     "repro.backends",
+    "repro.cache",
     "repro.service",
     "repro.cluster",
     "repro.metrics.jaccard",

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Gate backend throughput against the committed benchmark baseline.
+
+``benchmarks/test_backend_scaling.py`` writes a machine-readable report
+(``benchmarks/reports/BENCH_backend_scaling.json``) with one
+``pairs_per_second`` figure per ``(backend, workers)`` configuration.
+This tool compares a freshly produced report against the committed
+baseline (``benchmarks/baselines/BENCH_backend_scaling.json``) and
+fails when any configuration's throughput drops below
+``min_ratio * baseline`` — a perf regression surfaced in CI with the
+offending configuration named, instead of a silent drift nobody reads
+the raw tables for.
+
+The tolerance band is deliberately wide by default (``--min-ratio
+0.5``): CI machines are noisy and shared, so the gate exists to catch
+"multiprocess is suddenly 4x slower" class regressions, not 5% jitter.
+Configurations present in only one of the two reports are reported but
+never fail the gate (new backends appear, optional substrates come and
+go with the host).
+
+Run from the repository root::
+
+    python tools/check_bench_regression.py                # default paths
+    python tools/check_bench_regression.py --min-ratio 0.4
+    python tools/check_bench_regression.py FRESH BASELINE
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+FRESH = REPO / "benchmarks" / "reports" / "BENCH_backend_scaling.json"
+BASELINE = REPO / "benchmarks" / "baselines" / "BENCH_backend_scaling.json"
+
+#: Fresh throughput below this fraction of baseline fails the gate.
+DEFAULT_MIN_RATIO = 0.5
+
+
+def load_rates(path: Path) -> dict[tuple[str, int], float]:
+    """``{(backend, workers): pairs_per_second}`` from one report."""
+    report = json.loads(path.read_text())
+    rates: dict[tuple[str, int], float] = {}
+    for row in report.get("backends", []):
+        key = (str(row["backend"]), int(row["workers"]))
+        rates[key] = float(row["pairs_per_second"])
+    if not rates:
+        raise ValueError(f"{path}: no backend rows")
+    return rates
+
+
+def compare(
+    fresh: dict[tuple[str, int], float],
+    baseline: dict[tuple[str, int], float],
+    min_ratio: float,
+) -> tuple[list[str], list[str]]:
+    """``(failures, notes)`` of fresh throughput vs baseline."""
+    failures: list[str] = []
+    notes: list[str] = []
+    for key in sorted(baseline):
+        name = f"{key[0]} (workers={key[1]})"
+        if key not in fresh:
+            notes.append(f"{name}: in baseline only — skipped")
+            continue
+        ratio = fresh[key] / baseline[key]
+        line = (
+            f"{name}: {fresh[key]:.0f} pairs/s vs baseline "
+            f"{baseline[key]:.0f} ({ratio:.2f}x)"
+        )
+        if ratio < min_ratio:
+            failures.append(f"{line} — below {min_ratio:.2f}x floor")
+        else:
+            notes.append(line)
+    for key in sorted(set(fresh) - set(baseline)):
+        notes.append(
+            f"{key[0]} (workers={key[1]}): not in baseline — skipped"
+        )
+    return failures, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "fresh", nargs="?", type=Path, default=FRESH,
+        help="freshly produced BENCH_backend_scaling.json",
+    )
+    parser.add_argument(
+        "baseline", nargs="?", type=Path, default=BASELINE,
+        help="committed baseline report to gate against",
+    )
+    parser.add_argument(
+        "--min-ratio", type=float, default=DEFAULT_MIN_RATIO,
+        help="fail when fresh/baseline throughput drops below this "
+        f"(default {DEFAULT_MIN_RATIO})",
+    )
+    args = parser.parse_args(argv)
+    try:
+        fresh = load_rates(args.fresh)
+        baseline = load_rates(args.baseline)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        print(f"cannot load benchmark reports: {exc}", file=sys.stderr)
+        return 2
+    failures, notes = compare(fresh, baseline, args.min_ratio)
+    for line in notes:
+        print(f"  ok  {line}")
+    for line in failures:
+        print(f"FAIL  {line}", file=sys.stderr)
+    if failures:
+        print(
+            f"\n{len(failures)} configuration(s) regressed below "
+            f"{args.min_ratio:.2f}x of baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"benchmark gate passed ({len(notes)} configuration(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
