@@ -84,6 +84,16 @@ class CompareOptions:
         latency knob.  Off by default.
     cache_bytes:
         Byte budget of each enabled cache tier (LRU eviction past it).
+    trace:
+        Enable request-scoped tracing: the session runs the request
+        under a :class:`repro.obs.Tracer`, every tier contributes spans
+        (session -> backend -> shard dispatch -> remote worker kernel),
+        and the result carries the trace id.  Off by default — the off
+        path adds zero allocations to the kernel hot loop.
+    trace_out:
+        Path of a JSON-lines sink for span records and lifecycle
+        events (``repro compare --trace-out``).  Setting it implies
+        ``trace=True``.
     """
 
     # -- execution substrate -------------------------------------------
@@ -104,6 +114,9 @@ class CompareOptions:
     # -- result caching ------------------------------------------------
     cache: bool = False
     cache_bytes: int = 64 * 2**20
+    # -- observability --------------------------------------------------
+    trace: bool = False
+    trace_out: str | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -134,6 +147,8 @@ class CompareOptions:
             raise RequestError(
                 f"cache_bytes must be >= 1, got {self.cache_bytes}"
             )
+        if self.trace_out is not None and not self.trace:
+            object.__setattr__(self, "trace", True)
 
     # ------------------------------------------------------------------
     # Derived legacy config objects

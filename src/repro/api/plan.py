@@ -68,6 +68,10 @@ class ResolvedPlan:
         ``would_hit`` — whether a run against the consulted store would
         be served from cache (``None`` when no store was available to
         consult, e.g. module-level ``explain`` outside a session).
+    trace:
+        Resolved observability configuration: whether request-scoped
+        tracing is ``enabled`` and the ``trace_out`` JSONL sink path
+        (``None`` for ring-buffer-only tracing).
     notes:
         Human-readable capability-check observations (non-fatal).
     """
@@ -87,6 +91,7 @@ class ResolvedPlan:
     calibration: str = "modeled"
     migration: bool = False
     cache: dict[str, Any] = field(default_factory=dict)
+    trace: dict[str, Any] = field(default_factory=dict)
     notes: tuple[str, ...] = field(default_factory=tuple)
 
     def as_dict(self) -> dict[str, Any]:
@@ -111,6 +116,7 @@ class ResolvedPlan:
             "calibration": self.calibration,
             "migration": self.migration,
             "cache": dict(self.cache),
+            "trace": dict(self.trace),
             "notes": list(self.notes),
         }
 
@@ -316,5 +322,6 @@ def explain(request: CompareRequest, request_cache=None) -> ResolvedPlan:
         calibration=cal_source,
         migration=options.migration,
         cache=_resolve_cache(request, cal, request_cache),
+        trace={"enabled": options.trace, "trace_out": options.trace_out},
         notes=tuple(notes),
     )

@@ -264,6 +264,8 @@ def request_from_cli(
     migration: bool = True,
     workers: int | None = None,
     cache: bool = False,
+    trace: bool = False,
+    trace_out: str | None = None,
 ) -> CompareRequest:
     """``repro compare`` flags -> the same :class:`CompareRequest`.
 
@@ -279,6 +281,8 @@ def request_from_cli(
         hosts=hosts,
         migration=migration,
         cache=cache,
+        trace=trace,
+        trace_out=trace_out,
     )
     return CompareRequest.from_files(dir_a, dir_b, options)
 

@@ -32,6 +32,10 @@ class CompareResult:
     tiles: int = 1
     wall_seconds: float = 0.0
     input_bytes: int = 0
+    # Trace id of the request-scoped span tree, when tracing was on
+    # (``CompareOptions(trace=True)``); ``Session.last_trace`` holds the
+    # records, ``trace_out`` the JSONL file.
+    trace_id: str | None = None
 
     @property
     def throughput(self) -> float:

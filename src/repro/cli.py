@@ -9,9 +9,11 @@ Subcommands::
     repro generate-suite [--scale 0.02] [--root DIR]
     repro compare DIR_A DIR_B [--no-migration] [--backend NAME] [--hosts ...]
     repro explain REQUEST.json
-    repro serve [--backend NAME] [--port N | --stdio] [--max-queue N]
+    repro serve [--backend NAME] [--port N | --stdio] [--metrics]
     repro worker [--host H] [--port N] [--max-tables N]
     repro cache {stats,clear} [--host H] [--port N]
+    repro stats [--prometheus] [--host H] [--port N]
+    repro trace show FILE
     repro calibrate [--output FILE] [--quick]
 
 Every comparison-shaped subcommand parses into the same declarative
@@ -98,6 +100,17 @@ def build_parser() -> argparse.ArgumentParser:
             "backend tiers); cached hits are bit-for-bit identical"
         ),
     )
+    cmp_.add_argument(
+        "--trace", action="store_true",
+        help="record a request-scoped span tree (implied by --trace-out)",
+    )
+    cmp_.add_argument(
+        "--trace-out", type=Path, default=None,
+        help=(
+            "append span + lifecycle events as JSONL to this file "
+            "(render it with `repro trace show`)"
+        ),
+    )
 
     exp = sub.add_parser(
         "explain",
@@ -164,6 +177,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-bytes", type=int, default=64 * 2**20,
         help="byte budget per cache tier (LRU eviction past it)",
     )
+    srv.add_argument(
+        "--metrics", action="store_true",
+        help=(
+            "expose a Prometheus /metrics HTTP endpoint; its address is "
+            "announced as `repro-serve metrics HOST PORT`"
+        ),
+    )
+    srv.add_argument(
+        "--metrics-host", default="127.0.0.1",
+        help="bind address of the /metrics endpoint",
+    )
+    srv.add_argument(
+        "--metrics-port", type=int, default=0,
+        help="TCP port of the /metrics endpoint (0 binds an ephemeral port)",
+    )
 
     wrk = sub.add_parser(
         "worker",
@@ -203,6 +231,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cch.add_argument("--host", default="127.0.0.1")
     cch.add_argument("--port", type=int, default=8765)
+
+    sts = sub.add_parser(
+        "stats",
+        help="print a running comparison server's metrics snapshot",
+    )
+    sts.add_argument(
+        "--prometheus", action="store_true",
+        help="Prometheus text exposition instead of the JSON snapshot",
+    )
+    sts.add_argument("--host", default="127.0.0.1")
+    sts.add_argument("--port", type=int, default=8765)
+
+    trc = sub.add_parser(
+        "trace",
+        help="inspect trace files recorded with --trace-out",
+    )
+    trc_sub = trc.add_subparsers(dest="trace_command", required=True)
+    trc_show = trc_sub.add_parser(
+        "show", help="pretty-print the span tree of a trace JSONL file"
+    )
+    trc_show.add_argument("file", type=Path, help="trace JSONL file")
 
     cal = sub.add_parser(
         "calibrate",
@@ -309,6 +358,8 @@ def main(argv: list[str] | None = None) -> int:
             migration=not args.no_migration,
             workers=args.workers,
             cache=args.cache,
+            trace=args.trace,
+            trace_out=str(args.trace_out) if args.trace_out else None,
         )
         with Session(request.options) as session:
             result = session.run(request)
@@ -322,6 +373,11 @@ def main(argv: list[str] | None = None) -> int:
             f"missing polygons: {result.missing_a} of {result.count_a} "
             f"in A, {result.missing_b} of {result.count_b} in B"
         )
+        if result.trace_id is not None:
+            print(f"trace: {result.trace_id}", end="")
+            if args.trace_out:
+                print(f" -> {args.trace_out}", end="")
+            print()
         return 0
 
     if args.command == "explain":
@@ -371,7 +427,15 @@ def main(argv: list[str] | None = None) -> int:
         )
         try:
             asyncio.run(
-                serve(config, host=args.host, port=args.port, stdio=args.stdio)
+                serve(
+                    config,
+                    host=args.host,
+                    port=args.port,
+                    stdio=args.stdio,
+                    metrics=args.metrics,
+                    metrics_host=args.metrics_host,
+                    metrics_port=args.metrics_port,
+                )
             )
         except KeyboardInterrupt:  # pragma: no cover - interactive exit
             pass
@@ -430,6 +494,38 @@ def main(argv: list[str] | None = None) -> int:
         except (OSError, ServiceError) as exc:
             print(f"cannot reach server: {exc}", file=sys.stderr)
             return 1
+        return 0
+
+    if args.command == "stats":
+        import json
+
+        from repro.errors import ServiceError
+        from repro.service import ServiceClient
+
+        try:
+            with ServiceClient(host=args.host, port=args.port) as client:
+                if args.prometheus:
+                    sys.stdout.write(client.metrics())
+                else:
+                    print(json.dumps(client.stats(), indent=2))
+        except (OSError, ServiceError) as exc:
+            print(f"cannot reach server: {exc}", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.command == "trace":
+        from repro.obs.render import render_trace_file
+
+        try:
+            with open(args.file, encoding="utf-8") as fh:
+                text = render_trace_file(fh)
+        except OSError as exc:
+            print(f"cannot read trace file: {exc}", file=sys.stderr)
+            return 1
+        if not text.strip():
+            print(f"no spans in {args.file}", file=sys.stderr)
+            return 1
+        print(text)
         return 0
 
     if args.command == "calibrate":

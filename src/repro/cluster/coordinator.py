@@ -56,6 +56,8 @@ from repro.cluster.scheduler import (
 from repro.cluster.worker import TABLE_FIELDS
 from repro.errors import ClusterConfigError, ClusterError
 from repro.gpu.cost import recommend_shard_pairs
+from repro.obs.events import EVENTS
+from repro.obs.trace import activate, current_context, current_tracer
 from repro.pixelbox.common import KernelStats, LaunchConfig
 from repro.pixelbox.kernel import BatchAreas, ChunkKernel, shard_policy
 from repro.pixelbox.vectorized import EdgeTable
@@ -116,6 +118,9 @@ class WorkerClient:
         self._io_lock = threading.Lock()
         #: Digests this client believes are resident on the worker.
         self.pushed: set[str] = set()
+        #: Capabilities the worker advertised in HELLO_ACK (trace
+        #: propagation is only used when listed — old workers interop).
+        self.features: set[str] = set()
         #: Actual table transmissions (the transfer counter the protocol
         #: tests assert: at most one per worker per table version).
         self.tables_sent = 0
@@ -137,6 +142,12 @@ class WorkerClient:
         self.failures += 1
         delay = min(_BACKOFF_CAP, _BACKOFF_BASE * (2 ** (self.failures - 1)))
         self.down_until = time.monotonic() + delay
+        EVENTS.record(
+            "worker.backoff",
+            worker=str(self),
+            failures=self.failures,
+            delay=delay,
+        )
 
     def note_success(self) -> None:
         self.failures = 0
@@ -169,6 +180,10 @@ class WorkerClient:
             # The worker's cache survives our reconnects; trust its view.
             cached = header.get("cached", [])
             self.pushed = {d for d in cached if isinstance(d, str)}
+            features = header.get("features", [])
+            self.features = {
+                f for f in features if isinstance(f, str)
+            } if isinstance(features, list) else set()
             self._sock = sock
 
     def abort(self) -> None:
@@ -256,6 +271,13 @@ class WorkerClient:
             "task": shard.index,
             "config": wire.config_to_wire(config),
         }
+        # Trace propagation, gated on the worker's advertised features:
+        # the ambient context (set by the scheduler's dispatch span)
+        # crosses the wire as two ids; the worker's finished spans come
+        # back in the reply and are adopted into the same tracer.
+        ctx = current_context()
+        if ctx is not None and wire.FEATURE_TRACE in self.features:
+            header["trace"] = wire.trace_to_wire(ctx[0], ctx[1])
         for attempt in (0, 1):
             msgtype, reply, arrays = self._call(wire.MsgType.RUN_SHARD, header)
             if msgtype == wire.MsgType.SHARD_RESULT:
@@ -264,6 +286,13 @@ class WorkerClient:
                     raise ClusterError(
                         f"worker {self} returned a malformed shard result"
                     )
+                spans = reply.get("spans")
+                tracer = current_tracer()
+                if spans and tracer is not None:
+                    try:
+                        tracer.adopt(spans)
+                    except (KeyError, TypeError, ValueError):
+                        pass  # malformed remote spans never fail a shard
                 return ShardOutcome(
                     inter=inter.astype(np.int64, copy=False),
                     stats=KernelStats(**reply.get("stats", {})),
@@ -283,6 +312,16 @@ class WorkerClient:
                 f"{reply.get('error', f'frame {msgtype}')}"
             )
         raise ClusterError(f"worker {self} kept missing tables")  # pragma: no cover
+
+    def stats(self) -> dict:
+        """The worker's observability counters (``STATS`` round-trip)."""
+        msgtype, header, _ = self._call(wire.MsgType.STATS, {})
+        if msgtype != wire.MsgType.STATS_REPLY:
+            raise ClusterError(
+                f"worker {self} answered STATS with frame {msgtype}"
+            )
+        stats = header.get("stats")
+        return stats if isinstance(stats, dict) else {}
 
 
 def _table_arrays(table: EdgeTable, prefix: str) -> dict[str, np.ndarray]:
@@ -459,6 +498,27 @@ class ClusterBackend(BackendLifecycle):
         if self._merge_cache is not None:
             self._merge_cache.clear()
 
+    def worker_stats(self) -> dict[str, dict]:
+        """Per-worker observability counters, keyed by address.
+
+        Queries each connected worker over ``STATS`` — the counters the
+        workers always kept (shard-cache hits, shards run, table churn)
+        but the coordinator used to drop.  Workers in health backoff or
+        failing the round-trip are skipped, never raised: stats must
+        stay readable while a request is degrading.
+        """
+        with self._lock:
+            clients = list(self._clients or [])
+        out: dict[str, dict] = {}
+        for client in clients:
+            if not client.available():
+                continue
+            try:
+                out[str(client)] = client.stats()
+            except ClusterError:
+                continue
+        return out
+
     @property
     def table_transfers(self) -> int:
         """Total table bundles actually transmitted (all workers)."""
@@ -481,15 +541,36 @@ class ClusterBackend(BackendLifecycle):
 
         policy = shard_policy()
         kernel = ChunkKernel(policy, cfg)
+        # Tracing: scheduler threads do not inherit this thread's
+        # ContextVar, so capture the tracer and the parent span id here
+        # and re-activate them inside the shard closures.
+        tracer = current_tracer()
+        ctx = current_context()
+        trace_parent = ctx[1] if ctx is not None else None
         a_p, a_q, boxes, has_box = kernel.route_pairs(pairs)
-        table_p = EdgeTable.build([p for p, _ in pairs])
-        table_q = EdgeTable.build([q for _, q in pairs])
+        if tracer is not None:
+            with tracer.span("cluster.build_tables", pairs=n):
+                table_p = EdgeTable.build([p for p, _ in pairs])
+                table_q = EdgeTable.build([q for _, q in pairs])
+        else:
+            table_p = EdgeTable.build([p for p, _ in pairs])
+            table_q = EdgeTable.build([q for _, q in pairs])
 
         def local_run(shard: Shard) -> ShardOutcome:
             part = KernelStats()
-            inter, _ = kernel.run_shard(
-                table_p, table_q, boxes, has_box, shard.lo, shard.hi, part
-            )
+            if tracer is not None:
+                with activate(tracer, trace_parent):
+                    with tracer.span(
+                        "cluster.local_shard", lo=shard.lo, hi=shard.hi
+                    ):
+                        inter, _ = kernel.run_shard(
+                            table_p, table_q, boxes, has_box,
+                            shard.lo, shard.hi, part,
+                        )
+            else:
+                inter, _ = kernel.run_shard(
+                    table_p, table_q, boxes, has_box, shard.lo, shard.hi, part
+                )
             return ShardOutcome(inter=inter, stats=part)
 
         if n < self.min_pairs:
@@ -510,6 +591,13 @@ class ClusterBackend(BackendLifecycle):
         if self._merge_cache is not None:
             mkey = merge_key(digest, policy, cfg)
             cached = self._merge_cache.get(mkey)
+            if tracer is not None:
+                EVENTS.record(
+                    "cache.lookup",
+                    tier="coordinator.merge",
+                    hit=cached is not None,
+                    trace_id=tracer.trace_id,
+                )
             if cached is not None:
                 return copy_areas(cached)
         with self._dispatch_lock:
@@ -525,7 +613,7 @@ class ClusterBackend(BackendLifecycle):
                 union = kernel.finalize_union(inter, None, a_p, a_q, has_box)
                 return BatchAreas(inter, union, a_p, a_q, stats)
 
-            def remote_run(client: WorkerClient, shard: Shard) -> ShardOutcome:
+            def _call_remote(client: WorkerClient, shard: Shard) -> ShardOutcome:
                 try:
                     outcome = client.run_shard(digest, bundle, shard, cfg)
                 except ClusterError:
@@ -534,6 +622,22 @@ class ClusterBackend(BackendLifecycle):
                 client.note_success()
                 return outcome
 
+            def remote_run(client: WorkerClient, shard: Shard) -> ShardOutcome:
+                if tracer is not None:
+                    # Scheduler worker threads start without the request
+                    # context; re-establish it so the dispatch span (and
+                    # the remote worker's spans, via the wire context)
+                    # stitch under the request tree.
+                    with activate(tracer, trace_parent):
+                        with tracer.span(
+                            "cluster.remote_shard",
+                            worker=str(client),
+                            lo=shard.lo,
+                            hi=shard.hi,
+                        ):
+                            return _call_remote(client, shard)
+                return _call_remote(client, shard)
+
             cache_lookup = cache_store = None
             if self._shard_cache is not None:
 
@@ -541,6 +645,13 @@ class ClusterBackend(BackendLifecycle):
                     hit = self._shard_cache.get(
                         shard_key(digest, shard.lo, shard.hi, policy, cfg)
                     )
+                    if tracer is not None:
+                        EVENTS.record(
+                            "cache.lookup",
+                            tier="coordinator.shard",
+                            hit=hit is not None,
+                            trace_id=tracer.trace_id,
+                        )
                     if hit is None:
                         return None
                     return ShardOutcome(

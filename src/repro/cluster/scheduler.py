@@ -31,6 +31,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.obs.events import EVENTS
 from repro.pixelbox.common import KernelStats
 
 __all__ = ["Shard", "ShardOutcome", "ScheduleReport", "ShardScheduler"]
@@ -171,6 +172,13 @@ class ShardScheduler:
                         state.running += 1
                         state.started = time.monotonic()
                         report.dispatches += 1
+                        EVENTS.record(
+                            "shard.dispatch",
+                            shard=state.shard.index,
+                            lo=state.shard.lo,
+                            hi=state.shard.hi,
+                            copies=state.running,
+                        )
                         return state
                     if self._speculate:
                         now = time.monotonic()
@@ -193,6 +201,11 @@ class ShardScheduler:
                             state.running += 1
                             report.speculative += 1
                             report.dispatches += 1
+                            EVENTS.record(
+                                "shard.speculate",
+                                shard=state.shard.index,
+                                copies=state.running,
+                            )
                             return state
                     # Nothing to take right now: wait for completions or
                     # failures to change the picture.
@@ -217,6 +230,9 @@ class ShardScheduler:
                         # Every copy failed: back to the queue.
                         state.started = None
                         pending.insert(0, state)
+                        EVENTS.record(
+                            "shard.redispatch", shard=state.shard.index
+                        )
                 lock.notify_all()
             if won and self._cache_store is not None:
                 self._cache_store(state.shard, outcome)
@@ -234,6 +250,11 @@ class ShardScheduler:
                     # copy no thread is running.
                     with lock:
                         report.worker_failures += 1
+                    EVENTS.record(
+                        "worker.failure",
+                        worker=str(worker),
+                        shard=state.shard.index,
+                    )
                     settle(state, None)
                     return  # worker is out of this run
                 settle(state, outcome)
@@ -264,6 +285,9 @@ class ShardScheduler:
                     lock.wait(timeout=0.05)
                     continue
             for state in leftovers:
+                EVENTS.record(
+                    "shard.local_fallback", shard=state.shard.index
+                )
                 outcome = self._local_run(state.shard)
                 report.local_shards += 1
                 settle(state, outcome)

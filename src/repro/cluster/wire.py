@@ -39,6 +39,7 @@ from repro.errors import ClusterProtocolError
 __all__ = [
     "MsgType",
     "MAX_FRAME_BYTES",
+    "FEATURE_TRACE",
     "bundle_digest",
     "pack_frame",
     "unpack_payload",
@@ -46,6 +47,8 @@ __all__ = [
     "recv_frame",
     "config_to_wire",
     "config_from_wire",
+    "trace_to_wire",
+    "trace_from_wire",
 ]
 
 _MAGIC = b"RC"
@@ -238,6 +241,42 @@ _CONFIG_FIELDS = ("block_size", "pixel_threshold", "tight_mbr", "leaf_mode")
 def config_to_wire(config) -> dict[str, Any]:
     """``LaunchConfig`` -> JSON-safe dict for the RUN_SHARD header."""
     return {f: getattr(config, f) for f in _CONFIG_FIELDS}
+
+
+# ----------------------------------------------------------------------
+# Trace-context transport (version-gated by capability advertisement)
+# ----------------------------------------------------------------------
+# Workers that understand trace propagation list this token in their
+# HELLO_ACK ``features``; the coordinator only attaches a ``trace``
+# header key (and only expects ``spans`` back) when the worker
+# advertised it.  Old peers in either direction read headers with
+# ``.get()`` and simply never see the extra keys — interop is free.
+FEATURE_TRACE = "trace"
+
+
+def trace_to_wire(trace_id: str, parent_id: str | None) -> dict[str, Any]:
+    """A trace context as the RUN_SHARD header's ``trace`` value."""
+    out: dict[str, Any] = {"id": trace_id}
+    if parent_id is not None:
+        out["parent"] = parent_id
+    return out
+
+
+def trace_from_wire(raw: Any) -> tuple[str, str | None] | None:
+    """``trace`` header value -> ``(trace_id, parent_id)`` or ``None``.
+
+    Malformed values are dropped, not fatal: tracing is observability,
+    never worth failing a shard over.
+    """
+    if not isinstance(raw, dict):
+        return None
+    trace_id = raw.get("id")
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    parent = raw.get("parent")
+    if parent is not None and not isinstance(parent, str):
+        parent = None
+    return (trace_id, parent)
 
 
 def config_from_wire(raw: dict[str, Any] | None):

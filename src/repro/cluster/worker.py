@@ -35,6 +35,8 @@ import numpy as np
 from repro.cache import LRUCacheStore, copy_shard_result, shard_key, shard_result_nbytes
 from repro.cluster import wire
 from repro.errors import ClusterProtocolError, ReproError
+from repro.obs.events import EVENTS
+from repro.obs.trace import Tracer, activate
 from repro.pixelbox.common import KernelStats
 from repro.pixelbox.kernel import ChunkKernel, shard_policy
 from repro.pixelbox.vectorized import EdgeTable
@@ -247,6 +249,11 @@ class ShardWorker:
                         "version": 1,
                         "max_tables": self.max_tables,
                         "cached": self._cached_digests(),
+                        # Capability advertisement: the coordinator only
+                        # sends a trace context (and expects spans back)
+                        # when this worker lists the feature.  Old
+                        # coordinators ignore the key.
+                        "features": [wire.FEATURE_TRACE],
                     },
                 )
             elif msgtype == wire.MsgType.PING:
@@ -366,40 +373,72 @@ class ShardWorker:
         self._before_shard(header)
         policy = shard_policy(substrate=self.substrate)
         key = shard_key(digest, lo, hi, policy, cfg)
+        # Trace context shipped by a feature-aware coordinator: run the
+        # shard under a local tracer seeded with the remote trace id and
+        # return the finished span records in the reply header, where
+        # the coordinator adopts them into one stitched tree.
+        trace_ctx = wire.trace_from_wire(header.get("trace"))
+        if trace_ctx is not None:
+            trace_id, parent = trace_ctx
+            tracer = Tracer(trace_id)
+            with activate(tracer, parent):
+                with tracer.span(
+                    "worker.run_shard",
+                    lo=lo,
+                    hi=hi,
+                    substrate=self.substrate,
+                ) as span:
+                    inter, stats_dict, hit = self._execute_shard(
+                        bundle, lo, hi, policy, cfg, key
+                    )
+                    span.set(cache_hit=hit)
+            EVENTS.record(
+                "cache.lookup", tier="worker.shard", hit=hit,
+                trace_id=trace_id,
+            )
+        else:
+            tracer = None
+            inter, stats_dict, hit = self._execute_shard(
+                bundle, lo, hi, policy, cfg, key
+            )
+        reply = {
+            "task": header.get("task"),
+            "lo": lo,
+            "hi": hi,
+            "stats": stats_dict,
+        }
+        if tracer is not None:
+            reply["spans"] = tracer.as_dicts()
+        wire.send_frame(conn, wire.MsgType.SHARD_RESULT, reply, {"inter": inter})
+
+    def _execute_shard(
+        self, bundle: dict, lo: int, hi: int, policy, cfg, key: str
+    ) -> tuple[np.ndarray, dict, bool]:
+        """Serve one shard from the result cache or the kernel."""
         cached = self._results.get(key) if self._results is not None else None
         if cached is not None:
             inter, stats_dict = copy_shard_result(cached)
             with self._lock:
                 self.shard_hits += 1
-        else:
-            stats = KernelStats()
-            kernel = ChunkKernel(policy, cfg)
-            inter, _ = kernel.run_shard(
-                table_from_bundle(bundle, "p"),
-                table_from_bundle(bundle, "q"),
-                bundle["boxes"],
-                bundle["has_box"],
-                lo,
-                hi,
-                stats,
-            )
-            stats_dict = stats.as_dict()
-            with self._lock:
-                self.shards_run += 1
-            if self._results is not None:
-                entry = copy_shard_result((inter, stats_dict))
-                self._results.put(key, entry, shard_result_nbytes(entry))
-        wire.send_frame(
-            conn,
-            wire.MsgType.SHARD_RESULT,
-            {
-                "task": header.get("task"),
-                "lo": lo,
-                "hi": hi,
-                "stats": stats_dict,
-            },
-            {"inter": inter},
+            return inter, stats_dict, True
+        stats = KernelStats()
+        kernel = ChunkKernel(policy, cfg)
+        inter, _ = kernel.run_shard(
+            table_from_bundle(bundle, "p"),
+            table_from_bundle(bundle, "q"),
+            bundle["boxes"],
+            bundle["has_box"],
+            lo,
+            hi,
+            stats,
         )
+        stats_dict = stats.as_dict()
+        with self._lock:
+            self.shards_run += 1
+        if self._results is not None:
+            entry = copy_shard_result((inter, stats_dict))
+            self._results.put(key, entry, shard_result_nbytes(entry))
+        return inter, stats_dict, False
 
     def stats(self) -> dict:
         """Observability counters (also served over ``STATS``)."""

@@ -22,6 +22,8 @@ from typing import Any, Mapping
 
 import numpy as np
 
+from repro.obs.metrics import Histogram
+
 __all__ = ["ServiceMetrics", "ServiceSnapshot"]
 
 # Latency samples retained for quantile estimation.
@@ -49,6 +51,9 @@ class ServiceSnapshot:
     request_cache_hits: int = 0
     request_cache_misses: int = 0
     caches: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    latency_histogram: Mapping[str, Any] = field(default_factory=dict)
+    kernel: Mapping[str, int] = field(default_factory=dict)
+    workers: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, Any]:
         """Plain-dict view (wire protocol / reports)."""
@@ -70,6 +75,9 @@ class ServiceSnapshot:
             "request_cache_hits": self.request_cache_hits,
             "request_cache_misses": self.request_cache_misses,
             "caches": {name: dict(snap) for name, snap in self.caches.items()},
+            "latency_histogram": dict(self.latency_histogram),
+            "kernel": dict(self.kernel),
+            "workers": {name: dict(snap) for name, snap in self.workers.items()},
         }
 
     def render(self) -> str:
@@ -117,8 +125,21 @@ class ServiceMetrics:
         self._max_queue_depth = 0
         self._latencies: list[float] = []
         self._latency_cursor = 0
+        # Fixed-bucket histogram alongside the reservoir: the reservoir
+        # gives fresh quantiles, the histogram gives Prometheus-scrapable
+        # cumulative buckets over the service's whole life.
+        self._latency_hist = Histogram(
+            "repro_service_request_latency_seconds",
+            "End-to-end request latency observed by the service.",
+        )
         self._request_cache_hits = 0
         self._request_cache_misses = 0
+        # Kernel work counters accumulated across every dispatched batch
+        # (the paper's compute-intensity counters: pairs, pops, ...).
+        self._kernel: dict[str, int] = {}
+        # Per-worker stats provider (cluster backends); read at snapshot
+        # time like the cache tiers.
+        self._worker_stats = None
         # Attached cache stores (anything with a ``snapshot().as_dict()``),
         # read at snapshot time so tier counters and service counters
         # always appear together.
@@ -173,6 +194,21 @@ class ServiceMetrics:
         with self._lock:
             self._caches[name] = store
 
+    def attach_worker_stats(self, provider) -> None:
+        """Surface per-worker cluster stats in snapshots.
+
+        ``provider`` is a zero-argument callable returning
+        ``{worker_addr: counter_dict}`` (``ClusterBackend.worker_stats``).
+        """
+        with self._lock:
+            self._worker_stats = provider
+
+    def note_kernel(self, stats: Mapping[str, int]) -> None:
+        """Accumulate one batch's kernel work counters."""
+        with self._lock:
+            for key, value in stats.items():
+                self._kernel[key] = self._kernel.get(key, 0) + int(value)
+
     def note_batch(self, requests: int, pairs: int) -> None:
         """One coalesced dispatch of ``requests`` requests, ``pairs`` pairs."""
         with self._lock:
@@ -182,6 +218,7 @@ class ServiceMetrics:
 
     def note_completed(self, latency_seconds: float) -> None:
         """One request answered; record its end-to-end latency."""
+        self._latency_hist.observe(latency_seconds)
         with self._lock:
             self._completed += 1
             if len(self._latencies) < _RESERVOIR:
@@ -195,6 +232,11 @@ class ServiceMetrics:
     # ------------------------------------------------------------------
     def snapshot(self) -> ServiceSnapshot:
         """Consistent immutable view of every counter."""
+        with self._lock:
+            provider = self._worker_stats
+        # Worker stats may do socket round-trips; never hold the metrics
+        # lock across them or the dispatch loop's note_* calls stall.
+        workers = provider() if provider is not None else {}
         with self._lock:
             if self._latencies:
                 lat = np.asarray(self._latencies, dtype=np.float64)
@@ -230,4 +272,7 @@ class ServiceMetrics:
                     )
                     for name, store in self._caches.items()
                 },
+                latency_histogram=self._latency_hist.snapshot(),
+                kernel=dict(self._kernel),
+                workers=workers,
             )

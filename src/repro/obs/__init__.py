@@ -1,0 +1,56 @@
+"""Zero-dependency observability: tracing, events, and metrics export.
+
+Three pieces, each usable alone:
+
+* :mod:`repro.obs.trace` — request-scoped tracing.  A :class:`Tracer`
+  produces nested spans with monotonic timings; the ambient context
+  (:func:`current_tracer`) costs one ``ContextVar.get`` when tracing is
+  off, so hot paths stay allocation-free.
+* :mod:`repro.obs.events` — a process-wide structured :class:`EventLog`
+  (ring buffer + optional JSON-lines sink) for lifecycle events and
+  finished span records.
+* :mod:`repro.obs.metrics` / :mod:`repro.obs.export` — a
+  :class:`MetricsRegistry` (counters, gauges, fixed-bucket histograms)
+  and the bridge that renders live service/cache/kernel/worker counters
+  in Prometheus text exposition format, plus the ``/metrics`` HTTP
+  endpoint behind ``repro serve --metrics``.
+"""
+
+from repro.obs.events import EVENTS, EventLog
+from repro.obs.export import MetricsServer, render_snapshot, snapshot_families
+from repro.obs.metrics import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.render import load_trace_file, render_spans, render_trace_file
+from repro.obs.trace import (
+    SpanRecord,
+    Tracer,
+    activate,
+    current_context,
+    current_tracer,
+)
+
+__all__ = [
+    "EVENTS",
+    "EventLog",
+    "MetricsServer",
+    "render_snapshot",
+    "snapshot_families",
+    "REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "load_trace_file",
+    "render_spans",
+    "render_trace_file",
+    "SpanRecord",
+    "Tracer",
+    "activate",
+    "current_context",
+    "current_tracer",
+]

@@ -45,6 +45,7 @@ import numpy as np
 from repro.errors import KernelError
 from repro.geometry.box import Box
 from repro.geometry.polygon import RectilinearPolygon
+from repro.obs.trace import current_tracer
 from repro.pixelbox.common import (
     KernelStats,
     LaunchConfig,
@@ -421,6 +422,27 @@ class ChunkKernel:
         so sharding at any boundary preserves bit-for-bit results.
         Returns ``(inter, uni)`` slices of length ``hi - lo``.
         """
+        # Tracing guard: one ContextVar read.  When no tracer is active
+        # (the default) the shard runs the plain path — zero allocations
+        # added to the hot loop (the overhead-guard test pins this).
+        tracer = current_tracer()
+        if tracer is not None:
+            with tracer.span("kernel.run_shard", lo=lo, hi=hi):
+                return self._run_shard(
+                    table_p, table_q, boxes, has_box, lo, hi, stats
+                )
+        return self._run_shard(table_p, table_q, boxes, has_box, lo, hi, stats)
+
+    def _run_shard(
+        self,
+        table_p: EdgeTable,
+        table_q: EdgeTable,
+        boxes: np.ndarray,
+        has_box: np.ndarray,
+        lo: int,
+        hi: int,
+        stats: KernelStats,
+    ) -> tuple[np.ndarray, np.ndarray]:
         inter = np.zeros(hi - lo, dtype=np.int64)
         uni = np.zeros(hi - lo, dtype=np.int64)
         for c_lo in range(lo, hi, self.policy.chunk_pairs):

@@ -56,6 +56,8 @@ from repro.errors import (
 )
 from repro.gpu.cost import recommend_batch_pairs
 from repro.metrics.service import ServiceMetrics, ServiceSnapshot
+from repro.obs.events import EVENTS
+from repro.obs.trace import Tracer, activate, current_context, current_tracer
 from repro.pixelbox.common import KernelStats, LaunchConfig
 from repro.pixelbox.engine import BatchAreas
 
@@ -177,6 +179,10 @@ class _Request:
     enqueued: float
     #: Content-addressed request-cache key (``None`` with caching off).
     key: str | None = None
+    #: ``(tracer, parent_span_id)`` captured at submission — the
+    #: dispatcher task does not inherit the submitter's ContextVar, so
+    #: the request carries its trace context explicitly.
+    trace: tuple[Tracer, str | None] | None = None
 
     @property
     def size(self) -> int:
@@ -284,6 +290,12 @@ class ComparisonService:
                         f"backend {self.config.backend!r} failed to warm: "
                         f"{exc}"
                     ) from exc
+        worker_stats = getattr(self._backend, "worker_stats", None)
+        if callable(worker_stats):
+            # Cluster backends: per-worker shard-cache hit counters, read
+            # at snapshot time so the stats op and the metrics export see
+            # live numbers (the coordinator used to drop these).
+            self.metrics.attach_worker_stats(worker_stats)
         cache_stats = getattr(self._backend, "cache_stats", None)
         if callable(cache_stats):
             # Surface backend-owned cache tiers (coordinator shard/merge,
@@ -368,10 +380,19 @@ class ComparisonService:
         loop = asyncio.get_running_loop()
         started = time.perf_counter()
         pairs = list(pairs)
+        tracer = current_tracer()
+        ctx = current_context()
+        trace = (tracer, ctx[1]) if tracer is not None else None
         key: str | None = None
         if self._request_cache is not None:
             key = pairs_key(pairs, config or LaunchConfig())
             cached = self._request_cache.get(key)
+            EVENTS.record(
+                "cache.lookup",
+                tier="service.request",
+                hit=cached is not None,
+                **({"trace_id": tracer.trace_id} if tracer is not None else {}),
+            )
             if cached is not None:
                 # Served at admission: no queue slot, no dispatch.  The
                 # request still counts as accepted + completed so the
@@ -387,15 +408,22 @@ class ComparisonService:
             future=loop.create_future(),
             enqueued=started,
             key=key,
+            trace=trace,
         )
         try:
             self._queue.put_nowait(request)
         except asyncio.QueueFull:
             self.metrics.note_rejected()
+            EVENTS.record(
+                "service.reject", pairs=len(pairs), depth=self._queue.qsize()
+            )
             raise ServiceOverloadedError(
                 f"request queue at capacity ({self.config.max_queue})"
             ) from None
         self.metrics.note_enqueued(self._queue.qsize())
+        EVENTS.record(
+            "service.admit", pairs=len(pairs), depth=self._queue.qsize()
+        )
         try:
             if timeout is None:
                 return await request.future
@@ -469,6 +497,29 @@ class ComparisonService:
                 by_key[r.key] = r
             leaders.append(r)
         return leaders, riders
+
+    def _execute_batch(
+        self,
+        merged: Pairs,
+        config: LaunchConfig | None,
+        trace: tuple[Tracer, str | None] | None,
+        requests: int,
+    ) -> BatchAreas:
+        """One backend launch (executor thread), traced when requested.
+
+        The dispatcher task was created long before any request, so the
+        submitter's trace context arrives here explicitly on the batch
+        leader; re-activating it makes the backend's spans (cluster
+        dispatch, remote worker kernels) children of the request tree.
+        """
+        if trace is None:
+            return self._backend.compare_pairs(merged, config)
+        tracer, parent = trace
+        with activate(tracer, parent):
+            with tracer.span(
+                "service.dispatch", requests=requests, pairs=len(merged)
+            ):
+                return self._backend.compare_pairs(merged, config)
 
     def _batch_budget(self, head: _Request) -> int:
         """Pair budget for the dispatch opened by ``head``."""
@@ -576,8 +627,15 @@ class ComparisonService:
                 # the leader's slice after the launch.
                 leaders, riders = self._dedupe(live)
                 merged = [pair for r in leaders for pair in r.pairs]
+                EVENTS.record(
+                    "service.coalesce",
+                    requests=len(live),
+                    leaders=len(leaders),
+                    pairs=len(merged),
+                )
                 call = functools.partial(
-                    self._backend.compare_pairs, merged, leaders[0].config
+                    self._execute_batch, merged, leaders[0].config,
+                    leaders[0].trace, len(live),
                 )
                 try:
                     areas = await loop.run_in_executor(self._executor, call)
@@ -591,6 +649,7 @@ class ComparisonService:
                     held = []
                     continue
                 self.metrics.note_batch(requests=len(live), pairs=len(merged))
+                self.metrics.note_kernel(areas.stats.as_dict())
                 offset = 0
                 now = time.perf_counter()
                 for r in leaders:

@@ -9,7 +9,7 @@ Request shape::
 
     {"id": 7, "op": "compare", "pairs": [[wkt_p, wkt_q], ...],
      "config": {"block_size": 64}, "timeout": 5.0}
-    {"id": 8, "op": "ping" | "stats" | "cache_clear" | "shutdown"}
+    {"id": 8, "op": "ping" | "stats" | "metrics" | "cache_clear" | "shutdown"}
 
 Response shape::
 
@@ -55,7 +55,7 @@ __all__ = [
     "error_payload",
 ]
 
-OPS = ("compare", "ping", "stats", "cache_clear", "shutdown")
+OPS = ("compare", "ping", "stats", "metrics", "cache_clear", "shutdown")
 
 
 def encode(message: dict[str, Any]) -> bytes:

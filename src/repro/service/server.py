@@ -20,6 +20,7 @@ import sys
 from typing import Any, Callable
 
 from repro.api.request import request_from_wire
+from repro.obs.export import MetricsServer, render_snapshot
 from repro.service import protocol
 from repro.service.core import ComparisonService, ServiceConfig
 
@@ -37,6 +38,8 @@ async def _answer(
         return {"ok": True, "pong": True}
     if op == "stats":
         return {"ok": True, "stats": service.snapshot().as_dict()}
+    if op == "metrics":
+        return {"ok": True, "metrics": render_snapshot(service.snapshot())}
     if op == "cache_clear":
         service.clear_caches()
         return {"ok": True, "cleared": True}
@@ -150,6 +153,9 @@ async def serve(
     port: int = 0,
     stdio: bool = False,
     announce: Callable[[str], None] | None = None,
+    metrics: bool = False,
+    metrics_host: str = "127.0.0.1",
+    metrics_port: int = 0,
 ) -> None:
     """Run the comparison service until shutdown; returns after draining.
 
@@ -158,35 +164,76 @@ async def serve(
     kernel-assigned port is what's announced, which is how the smoke
     tests find the server.  Stdio mode serves one JSON-lines session on
     stdin/stdout and exits when stdin closes.
+
+    ``metrics=True`` additionally binds a plain-HTTP ``/metrics``
+    endpoint (stdlib ``http.server``, Prometheus text exposition) and
+    announces it as ``repro-serve metrics HOST PORT`` right after the
+    ready line.  The endpoint renders a fresh service snapshot per
+    scrape and shuts down with the service.
     """
     announce = announce or (lambda text: print(text, flush=True))
     shutdown = asyncio.Event()
     async with ComparisonService(config) as service:
-        if stdio:
-            reader, writer = await _stdio_streams()
-            announce("repro-serve ready stdio")
+        exporter: MetricsServer | None = None
+        if metrics:
+            exporter = MetricsServer(
+                lambda: render_snapshot(service.snapshot()),
+                host=metrics_host,
+                port=metrics_port,
+            )
+            exporter.start()
+        try:
+            await _serve_streams(
+                service, host, port, stdio, announce, shutdown, exporter
+            )
+        finally:
+            if exporter is not None:
+                exporter.close()
+
+
+async def _serve_streams(
+    service: ComparisonService,
+    host: str,
+    port: int,
+    stdio: bool,
+    announce: Callable[[str], None],
+    shutdown: asyncio.Event,
+    exporter: MetricsServer | None,
+) -> None:
+    """The listener half of :func:`serve` (split for the metrics wrap)."""
+
+    def announce_metrics() -> None:
+        if exporter is not None:
+            mhost, mport = exporter.address
+            announce(f"repro-serve metrics {mhost} {mport}")
+
+    if stdio:
+        reader, writer = await _stdio_streams()
+        announce("repro-serve ready stdio")
+        announce_metrics()
+        await _connection(service, reader, writer, shutdown)
+        return
+    connections: set[asyncio.Task] = set()
+
+    async def on_connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        connections.add(task)
+        try:
             await _connection(service, reader, writer, shutdown)
-            return
-        connections: set[asyncio.Task] = set()
+        finally:
+            connections.discard(task)
 
-        async def on_connection(
-            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-        ) -> None:
-            task = asyncio.current_task()
-            connections.add(task)
-            try:
-                await _connection(service, reader, writer, shutdown)
-            finally:
-                connections.discard(task)
-
-        server = await asyncio.start_server(on_connection, host, port)
-        bound_port = server.sockets[0].getsockname()[1]
-        announce(f"repro-serve ready {host} {bound_port}")
-        async with server:
-            await shutdown.wait()
-        if connections:
-            # Every handler saw the shutdown event (its read loop races
-            # it); wait for them to flush and close before draining.
-            await asyncio.gather(*connections, return_exceptions=True)
-        # Leaving the `async with service` block drains every accepted
-        # request, then releases the warm backend.
+    server = await asyncio.start_server(on_connection, host, port)
+    bound_port = server.sockets[0].getsockname()[1]
+    announce(f"repro-serve ready {host} {bound_port}")
+    announce_metrics()
+    async with server:
+        await shutdown.wait()
+    if connections:
+        # Every handler saw the shutdown event (its read loop races
+        # it); wait for them to flush and close before draining.
+        await asyncio.gather(*connections, return_exceptions=True)
+    # Leaving the `async with service` block drains every accepted
+    # request, then releases the warm backend.

@@ -37,6 +37,8 @@ are now deprecation shims over this class.
 from __future__ import annotations
 
 import asyncio
+import contextlib
+import dataclasses
 import functools
 import threading
 import time
@@ -57,6 +59,8 @@ from repro.cache import (
 )
 from repro.errors import RequestError, SessionClosedError
 from repro.metrics.jaccard import jaccard_from_areas
+from repro.obs.events import EVENTS
+from repro.obs.trace import Tracer, activate, current_tracer
 from repro.pixelbox.engine import BatchAreas
 
 __all__ = ["Session"]
@@ -131,6 +135,9 @@ class Session:
         # contract GpuDevice enforces for the pipeline); concurrent
         # submit()/compare() calls from many threads serialize here.
         self._dispatch_lock = threading.Lock()
+        # The tracer of the most recent traced request (None until a
+        # request runs with CompareOptions(trace=True)).
+        self.last_trace: Tracer | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -214,14 +221,55 @@ class Session:
         """Execute a declarative request (dispatch on its kind).
 
         ``pairs`` requests return raw :class:`BatchAreas`; ``sets`` and
-        ``files`` requests return a :class:`CompareResult`.
+        ``files`` requests return a :class:`CompareResult`.  With
+        ``options.trace`` the request runs under a request-scoped
+        :class:`~repro.obs.Tracer`; the finished tracer is kept on
+        :attr:`last_trace`, ``CompareResult`` answers carry its trace
+        id, and ``options.trace_out`` appends every span and lifecycle
+        event to a JSON-lines file.
         """
         self._check_open()
+        if request.options.trace:
+            return self._run_traced(request)
+        return self._dispatch(request)
+
+    def _dispatch(self, request: CompareRequest):
         if request.kind == "pairs":
             return self._run_pairs(request)
         if request.kind == "sets":
             return self._run_sets(request)
         return self._run_files(request)
+
+    def _run_traced(self, request: CompareRequest):
+        """Run one request under a tracer (reusing any ambient one)."""
+        ambient = current_tracer()
+        tracer = ambient if ambient is not None else Tracer()
+        sink = None
+        if request.options.trace_out is not None:
+            sink = open(request.options.trace_out, "a", encoding="utf-8")
+            EVENTS.add_sink(sink)
+        try:
+            with activate(tracer):
+                with tracer.span(
+                    "session.run",
+                    kind=request.kind,
+                    backend=request.options.backend,
+                ):
+                    result = self._dispatch(request)
+        finally:
+            self.last_trace = tracer
+            if ambient is None:
+                # Root of the trace: publish the finished span records
+                # to the event log (ring + any attached sinks).
+                EVENTS.extend(
+                    [{"kind": "span", **r.as_dict()} for r in tracer.records()]
+                )
+            if sink is not None:
+                EVENTS.remove_sink(sink)
+                sink.close()
+        if isinstance(result, CompareResult):
+            result = dataclasses.replace(result, trace_id=tracer.trace_id)
+        return result
 
     def _store_for(self, options: CompareOptions) -> LRUCacheStore | None:
         """The request-cache store, iff ``options`` enable caching."""
@@ -256,6 +304,14 @@ class Session:
             return self._execute_pairs(request)
         key = self._request_cache_key(request)
         cached = store.get(key)
+        tracer = current_tracer()
+        if tracer is not None:
+            EVENTS.record(
+                "cache.lookup",
+                tier="session.request",
+                hit=cached is not None,
+                trace_id=tracer.trace_id,
+            )
         if cached is not None:
             return copy_areas(cached)
 
@@ -272,15 +328,26 @@ class Session:
 
     def _execute_pairs(self, request: CompareRequest) -> BatchAreas:
         backend, throwaway = self._backend_for(request.options)
+        tracer = current_tracer()
+        span = (
+            tracer.span(
+                "backend.compare_pairs",
+                backend=request.options.backend,
+                pairs=len(request.pairs),
+            )
+            if tracer is not None
+            else contextlib.nullcontext()
+        )
         try:
-            if throwaway:
-                return backend.compare_pairs(
-                    list(request.pairs), request.launch_config()
-                )
-            with self._dispatch_lock:
-                return backend.compare_pairs(
-                    list(request.pairs), request.launch_config()
-                )
+            with span:
+                if throwaway:
+                    return backend.compare_pairs(
+                        list(request.pairs), request.launch_config()
+                    )
+                with self._dispatch_lock:
+                    return backend.compare_pairs(
+                        list(request.pairs), request.launch_config()
+                    )
         finally:
             if throwaway:
                 backend.close()
@@ -290,7 +357,14 @@ class Session:
 
         set_a, set_b = list(request.set_a), list(request.set_b)
         start = time.perf_counter()
-        join = mbr_pair_join(set_a, set_b)
+        tracer = current_tracer()
+        join_span = (
+            tracer.span("index.mbr_join", count_a=len(set_a), count_b=len(set_b))
+            if tracer is not None
+            else contextlib.nullcontext()
+        )
+        with join_span:
+            join = mbr_pair_join(set_a, set_b)
         areas = self._run_pairs(
             CompareRequest.from_pairs(
                 join.pairs(set_a, set_b), request.options
@@ -314,11 +388,18 @@ class Session:
             # device: lifecycle stays owned here, the pipeline only
             # borrows the instance for the run.
             device = GpuDevice(backend_instance=backend)
-            outcome = run_pipelined(
-                request.dir_a,
-                request.dir_b,
-                options.pipeline_options(devices=[device]),
+            tracer = current_tracer()
+            span = (
+                tracer.span("pipeline.run", backend=options.backend)
+                if tracer is not None
+                else contextlib.nullcontext()
             )
+            with span:
+                outcome = run_pipelined(
+                    request.dir_a,
+                    request.dir_b,
+                    options.pipeline_options(devices=[device]),
+                )
         finally:
             if throwaway:
                 backend.close()

@@ -83,6 +83,59 @@ def test_unmatched_configurations_never_fail():
     assert any("not in baseline" in n for n in notes)
 
 
+def test_service_speedup_above_floor_passes():
+    tool = _load_tool()
+    failures, notes = tool.check_service(23.0, min_speedup=2.0)
+    assert failures == []
+    assert len(notes) == 1 and "23.00x" in notes[0]
+
+
+def test_service_speedup_below_floor_fails():
+    tool = _load_tool()
+    failures, _ = tool.check_service(1.3, min_speedup=2.0)
+    assert len(failures) == 1
+    assert "below 2.00x floor" in failures[0]
+
+
+def test_load_warm_speedup_field_and_fallback(tmp_path):
+    tool = _load_tool()
+    with_field = tmp_path / "with_field.json"
+    with_field.write_text(json.dumps({"warm_speedup": 7.5}))
+    assert tool.load_warm_speedup(with_field) == 7.5
+    legacy = tmp_path / "legacy.json"
+    legacy.write_text(
+        json.dumps(
+            {
+                "modes": {
+                    "per_call_construction": {"requests_per_second": 10.0},
+                    "warm_service": {"requests_per_second": 40.0},
+                }
+            }
+        )
+    )
+    assert tool.load_warm_speedup(legacy) == 4.0
+
+
+def test_main_gates_service_report(tmp_path, capsys):
+    tool = _load_tool()
+    scaling = _report({("vectorized", 1): 30000.0})
+    (tmp_path / "fresh.json").write_text(json.dumps(scaling))
+    (tmp_path / "baseline.json").write_text(json.dumps(scaling))
+    good = tmp_path / "service_good.json"
+    good.write_text(json.dumps({"warm_speedup": 12.0}))
+    bad = tmp_path / "service_bad.json"
+    bad.write_text(json.dumps({"warm_speedup": 1.1}))
+    base_args = [
+        str(tmp_path / "fresh.json"), str(tmp_path / "baseline.json")
+    ]
+    assert tool.main(base_args + ["--service", str(good)]) == 0
+    assert tool.main(base_args + ["--service", str(bad)]) == 1
+    # An absent service report never blocks the scaling gate.
+    missing = base_args + ["--service", str(tmp_path / "nope.json")]
+    assert tool.main(missing) == 0
+    capsys.readouterr()
+
+
 def test_main_gates_files(tmp_path, capsys):
     tool = _load_tool()
     good = _report({("vectorized", 1): 30000.0})

@@ -215,6 +215,10 @@ _OPTIONS_PERTURB = {
     "migration": True,
     "cache": True,
     "cache_bytes": 2**20,
+    # Traced requests recompute rather than alias an untraced entry — a
+    # cached hit would otherwise produce no kernel/backend spans.
+    "trace": True,
+    "trace_out": "trace.jsonl",
 }
 
 _POLICY_PERTURB = {

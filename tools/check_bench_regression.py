@@ -18,11 +18,22 @@ Configurations present in only one of the two reports are reported but
 never fail the gate (new backends appear, optional substrates come and
 go with the host).
 
+The gate also covers the service benchmark
+(``benchmarks/reports/BENCH_service_throughput.json``): its
+``warm_speedup`` — warm-service requests/s over per-call-construction
+requests/s — must stay above an absolute floor (``--min-warm-speedup``,
+default 2.0).  That ratio is what the service tier exists to deliver
+(amortised backend construction), so it is gated as a ratio rather than
+against a committed baseline: it is already machine-normalised.  A
+missing service report is a note, not a failure — the scaling gate
+stays usable on its own.
+
 Run from the repository root::
 
     python tools/check_bench_regression.py                # default paths
     python tools/check_bench_regression.py --min-ratio 0.4
     python tools/check_bench_regression.py FRESH BASELINE
+    python tools/check_bench_regression.py --service REPORT.json
 """
 
 from __future__ import annotations
@@ -35,9 +46,14 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 FRESH = REPO / "benchmarks" / "reports" / "BENCH_backend_scaling.json"
 BASELINE = REPO / "benchmarks" / "baselines" / "BENCH_backend_scaling.json"
+SERVICE = REPO / "benchmarks" / "reports" / "BENCH_service_throughput.json"
 
 #: Fresh throughput below this fraction of baseline fails the gate.
 DEFAULT_MIN_RATIO = 0.5
+
+#: A warm service must answer at least this many times faster than
+#: constructing the backend per call, or pooling has regressed.
+DEFAULT_MIN_WARM_SPEEDUP = 2.0
 
 
 def load_rates(path: Path) -> dict[tuple[str, int], float]:
@@ -81,6 +97,35 @@ def compare(
     return failures, notes
 
 
+def load_warm_speedup(path: Path) -> float:
+    """``warm_speedup`` from one service-throughput report.
+
+    Falls back to recomputing the ratio from the ``modes`` section, so
+    reports written before the field existed still gate.
+    """
+    report = json.loads(path.read_text())
+    if "warm_speedup" in report:
+        return float(report["warm_speedup"])
+    modes = report["modes"]
+    return float(
+        modes["warm_service"]["requests_per_second"]
+        / modes["per_call_construction"]["requests_per_second"]
+    )
+
+
+def check_service(
+    speedup: float, min_speedup: float
+) -> tuple[list[str], list[str]]:
+    """``(failures, notes)`` of the warm/cold service ratio vs its floor."""
+    line = (
+        f"service warm_speedup: {speedup:.2f}x warm vs per-call "
+        f"construction"
+    )
+    if speedup < min_speedup:
+        return [f"{line} — below {min_speedup:.2f}x floor"], []
+    return [], [line]
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -96,6 +141,15 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when fresh/baseline throughput drops below this "
         f"(default {DEFAULT_MIN_RATIO})",
     )
+    parser.add_argument(
+        "--service", type=Path, default=SERVICE,
+        help="BENCH_service_throughput.json to gate (skipped if absent)",
+    )
+    parser.add_argument(
+        "--min-warm-speedup", type=float, default=DEFAULT_MIN_WARM_SPEEDUP,
+        help="fail when the service's warm/cold ratio drops below this "
+        f"(default {DEFAULT_MIN_WARM_SPEEDUP})",
+    )
     args = parser.parse_args(argv)
     try:
         fresh = load_rates(args.fresh)
@@ -104,6 +158,19 @@ def main(argv: list[str] | None = None) -> int:
         print(f"cannot load benchmark reports: {exc}", file=sys.stderr)
         return 2
     failures, notes = compare(fresh, baseline, args.min_ratio)
+    if args.service.exists():
+        try:
+            speedup = load_warm_speedup(args.service)
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"cannot load service report: {exc}", file=sys.stderr)
+            return 2
+        svc_failures, svc_notes = check_service(
+            speedup, args.min_warm_speedup
+        )
+        failures += svc_failures
+        notes += svc_notes
+    else:
+        notes.append(f"service report {args.service} absent — skipped")
     for line in notes:
         print(f"  ok  {line}")
     for line in failures:
