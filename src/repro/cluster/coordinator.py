@@ -244,7 +244,8 @@ class WorkerClient:
             wire.MsgType.HAS_TABLES, {"digest": digest}
         )
         if msgtype == wire.MsgType.TABLES_ACK and header.get("cached"):
-            self.pushed.add(digest)
+            with self._lock:
+                self.pushed.add(digest)
             return
         msgtype, header, _ = self._call(
             wire.MsgType.PUT_TABLES, {"digest": digest}, bundle
@@ -254,7 +255,8 @@ class WorkerClient:
                 f"worker {self} rejected tables: {header.get('error')}"
             )
         self.tables_sent += 1
-        self.pushed.add(digest)
+        with self._lock:
+            self.pushed.add(digest)
 
     def run_shard(
         self,
@@ -304,7 +306,8 @@ class WorkerClient:
             ):
                 # Evicted (or a fresh worker behind the same address):
                 # re-send the bundle and retry once.
-                self.pushed.discard(digest)
+                with self._lock:
+                    self.pushed.discard(digest)
                 self.ensure_tables(digest, bundle)
                 continue
             raise ClusterError(

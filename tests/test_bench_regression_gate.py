@@ -136,6 +136,87 @@ def test_main_gates_service_report(tmp_path, capsys):
     capsys.readouterr()
 
 
+def _cluster_report(local: float, cluster: dict[int, float]) -> dict:
+    rows = [
+        {
+            "executor": "vectorized (local)",
+            "workers": 1,
+            "pairs_per_second": local,
+        }
+    ]
+    for workers, rate in cluster.items():
+        rows.append(
+            {
+                "executor": "cluster",
+                "workers": workers,
+                "pairs_per_second": rate,
+            }
+        )
+    return {"benchmark": "cluster_scaling", "rows": rows}
+
+
+def test_cluster_rows_near_local_pass():
+    tool = _load_tool()
+    report = _cluster_report(30000.0, {1: 29000.0, 2: 28000.0, 4: 25000.0})
+    failures, notes = tool.check_cluster(report["rows"], min_ratio=0.3)
+    assert failures == []
+    assert len(notes) == 3
+
+
+def test_cluster_row_below_local_fraction_fails():
+    tool = _load_tool()
+    report = _cluster_report(30000.0, {1: 29000.0, 4: 5000.0})
+    failures, _ = tool.check_cluster(report["rows"], min_ratio=0.3)
+    assert len(failures) == 1
+    assert "workers=4" in failures[0]
+    assert "below 0.30x floor" in failures[0]
+
+
+def test_cluster_report_without_local_row_fails():
+    tool = _load_tool()
+    rows = [
+        {"executor": "cluster", "workers": 1, "pairs_per_second": 100.0}
+    ]
+    failures, _ = tool.check_cluster(rows, min_ratio=0.3)
+    assert failures and "local" in failures[0]
+
+
+def test_main_gates_cluster_report(tmp_path, capsys):
+    tool = _load_tool()
+    scaling = _report({("vectorized", 1): 30000.0})
+    (tmp_path / "fresh.json").write_text(json.dumps(scaling))
+    (tmp_path / "baseline.json").write_text(json.dumps(scaling))
+    base_args = [
+        str(tmp_path / "fresh.json"), str(tmp_path / "baseline.json"),
+        "--service", str(tmp_path / "no_service.json"),
+    ]
+    good = tmp_path / "cluster_good.json"
+    good.write_text(
+        json.dumps(_cluster_report(30000.0, {1: 29000.0, 2: 28000.0}))
+    )
+    bad = tmp_path / "cluster_bad.json"
+    bad.write_text(json.dumps(_cluster_report(30000.0, {2: 4000.0})))
+    assert tool.main(base_args + ["--cluster", str(good)]) == 0
+    assert tool.main(base_args + ["--cluster", str(bad)]) == 1
+    # An absent cluster report never blocks the scaling gate.
+    missing = base_args + ["--cluster", str(tmp_path / "nope.json")]
+    assert tool.main(missing) == 0
+    capsys.readouterr()
+
+
+def test_committed_cluster_report_passes_gate():
+    tool = _load_tool()
+    path = (
+        REPO_ROOT / "benchmarks" / "reports" / "BENCH_cluster_scaling.json"
+    )
+    rows = tool.load_cluster_rows(path)
+    failures, notes = tool.check_cluster(
+        rows, min_ratio=tool.DEFAULT_MIN_CLUSTER_RATIO
+    )
+    assert failures == []
+    assert notes
+
+
 def test_main_gates_files(tmp_path, capsys):
     tool = _load_tool()
     good = _report({("vectorized", 1): 30000.0})

@@ -1,155 +1,38 @@
 #!/usr/bin/env python3
-"""Guard the public API surface: signatures match the checked-in manifest.
+"""Guard the public API surface — shim over ``tools.reprolint``.
 
-The session-centric front door (``repro.Session`` / ``CompareRequest``)
-is the seam every consumer — CLI, service protocol, library users —
-depends on.  This tool snapshots the public surface of the front-door
-modules (every ``__all__`` symbol with its signature; dataclasses with
-their field list) and compares it against ``tools/api_surface.json``.
-An accidental rename, a dropped symbol, a changed default, or a new
-required parameter fails CI next to the kernel-seam guard.
+The snapshot/diff machinery now lives in
+``tools/reprolint/api_surface.py`` as checker RL801; this entry point
+keeps the historical interface — ``python tools/check_api_surface.py``
+(verify) and ``--update`` (rewrite ``tools/api_surface.json``), plus
+the ``MANIFEST`` / ``PUBLIC_MODULES`` / ``snapshot`` / ``diff`` names
+the tier-1 tests import.
 
-Run from the repository root::
-
-    python tools/check_api_surface.py            # verify (CI mode)
-    python tools/check_api_surface.py --update   # rewrite the manifest
-
-A *deliberate* surface change ships with the regenerated manifest in the
-same commit, which makes the diff reviewable exactly where it matters.
+A *deliberate* surface change ships with the regenerated manifest in
+the same commit, which makes the diff reviewable exactly where it
+matters.  Prefer ``python -m tools.reprolint`` for the full suite.
 """
 
 from __future__ import annotations
 
 import argparse
-import dataclasses
-import importlib
-import inspect
 import json
-import re
 import sys
 from pathlib import Path
 
-MANIFEST = Path(__file__).resolve().parent / "api_surface.json"
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
 
-# The public front doors.  Internal packages (pixelbox engines, exact
-# overlay, experiments) evolve freely; these are the modules external
-# consumers import from.
-PUBLIC_MODULES = (
-    "repro",
-    "repro.api",
-    "repro.session",
-    "repro.errors",
-    "repro.backends",
-    "repro.cache",
-    "repro.service",
-    "repro.cluster",
-    "repro.metrics.jaccard",
-    "repro.pixelbox.common",
-    "repro.pipeline.engine",
+from tools.reprolint.api_surface import (  # noqa: E402
+    PUBLIC_MODULES,
+    diff,
+    snapshot,
 )
 
+MANIFEST = Path(__file__).resolve().parent / "api_surface.json"
 
-_ADDRESS = re.compile(r" at 0x[0-9a-fA-F]+")
-
-
-def _signature(obj) -> str:
-    try:
-        sig = str(inspect.signature(obj))
-    except (TypeError, ValueError):
-        return "<unreadable>"
-    # Sentinel defaults (`_UNSET = object()`) repr with a memory address;
-    # normalize so the snapshot is stable across processes.
-    return _ADDRESS.sub(" at 0x…", sig)
-
-
-def _describe_class(cls) -> dict:
-    entry: dict = {"kind": "class"}
-    if dataclasses.is_dataclass(cls):
-        entry["kind"] = "dataclass"
-        entry["fields"] = {
-            f.name: _field_default(f) for f in dataclasses.fields(cls)
-        }
-    else:
-        entry["init"] = _signature(cls.__init__)
-    methods = {}
-    for name, member in sorted(vars(cls).items()):
-        if name.startswith("_"):
-            continue
-        if callable(member):
-            methods[name] = _signature(member)
-        elif isinstance(member, property):
-            methods[name] = "<property>"
-        elif isinstance(member, (classmethod, staticmethod)):
-            methods[name] = _signature(member.__func__)
-    if methods:
-        entry["methods"] = methods
-    return entry
-
-
-def _field_default(f: dataclasses.Field) -> str:
-    if f.default is not dataclasses.MISSING:
-        return repr(f.default)
-    if f.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
-        return f"<factory {f.default_factory.__name__}>"
-    return "<required>"
-
-
-def _describe(obj) -> object:
-    if inspect.isclass(obj):
-        return _describe_class(obj)
-    if callable(obj):
-        return {"kind": "function", "signature": _signature(obj)}
-    if inspect.ismodule(obj):
-        return {"kind": "module"}
-    return {"kind": "value", "type": type(obj).__name__}
-
-
-def snapshot() -> dict:
-    """The current public surface, module by module."""
-    surface: dict = {}
-    for module_name in PUBLIC_MODULES:
-        module = importlib.import_module(module_name)
-        exported = getattr(module, "__all__", None)
-        if exported is None:
-            raise SystemExit(
-                f"public module {module_name} has no __all__ — the surface "
-                "guard needs an explicit export list"
-            )
-        symbols = {}
-        for name in sorted(exported):
-            obj = getattr(module, name)
-            symbols[name] = _describe(obj)
-        surface[module_name] = symbols
-    return surface
-
-
-def diff(expected: dict, actual: dict) -> list[str]:
-    """Human-readable mismatches between two surface snapshots."""
-    problems: list[str] = []
-    for module in sorted(set(expected) | set(actual)):
-        if module not in actual:
-            problems.append(f"module {module} disappeared from the surface")
-            continue
-        if module not in expected:
-            problems.append(
-                f"module {module} is new — run with --update to record it"
-            )
-            continue
-        exp, act = expected[module], actual[module]
-        for symbol in sorted(set(exp) | set(act)):
-            if symbol not in act:
-                problems.append(f"{module}.{symbol}: removed from __all__")
-            elif symbol not in exp:
-                problems.append(
-                    f"{module}.{symbol}: added (run --update to record)"
-                )
-            elif exp[symbol] != act[symbol]:
-                problems.append(
-                    f"{module}.{symbol}: signature changed\n"
-                    f"    manifest: {json.dumps(exp[symbol], sort_keys=True)}\n"
-                    f"    current : {json.dumps(act[symbol], sort_keys=True)}"
-                )
-    return problems
+__all__ = ["MANIFEST", "PUBLIC_MODULES", "snapshot", "diff", "main"]
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -160,7 +43,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    src = Path(__file__).resolve().parent.parent / "src"
+    src = _REPO_ROOT / "src"
     if str(src) not in sys.path:
         sys.path.insert(0, str(src))
 

@@ -28,12 +28,24 @@ against a committed baseline: it is already machine-normalised.  A
 missing service report is a note, not a failure — the scaling gate
 stays usable on its own.
 
+The cluster benchmark (``benchmarks/reports/BENCH_cluster_scaling.json``)
+is gated the same machine-normalised way: every ``cluster`` row's
+``pairs_per_second`` is compared against the *same report's* local
+(``vectorized``) row.  The wire protocol, table push, and shard
+round-trips must never cost more than ``1 - min_cluster_ratio`` of
+local throughput on the same machine at the same moment — a cheap,
+host-independent canary for "the framing got quadratically slower"
+class regressions.  No absolute floor is possible (single-core CI hosts
+legitimately see ~1.0x), and a missing cluster report is a note, not a
+failure.
+
 Run from the repository root::
 
     python tools/check_bench_regression.py                # default paths
     python tools/check_bench_regression.py --min-ratio 0.4
     python tools/check_bench_regression.py FRESH BASELINE
     python tools/check_bench_regression.py --service REPORT.json
+    python tools/check_bench_regression.py --cluster REPORT.json
 """
 
 from __future__ import annotations
@@ -47,6 +59,7 @@ REPO = Path(__file__).resolve().parent.parent
 FRESH = REPO / "benchmarks" / "reports" / "BENCH_backend_scaling.json"
 BASELINE = REPO / "benchmarks" / "baselines" / "BENCH_backend_scaling.json"
 SERVICE = REPO / "benchmarks" / "reports" / "BENCH_service_throughput.json"
+CLUSTER = REPO / "benchmarks" / "reports" / "BENCH_cluster_scaling.json"
 
 #: Fresh throughput below this fraction of baseline fails the gate.
 DEFAULT_MIN_RATIO = 0.5
@@ -54,6 +67,11 @@ DEFAULT_MIN_RATIO = 0.5
 #: A warm service must answer at least this many times faster than
 #: constructing the backend per call, or pooling has regressed.
 DEFAULT_MIN_WARM_SPEEDUP = 2.0
+
+#: Every cluster row must reach this fraction of the same report's
+#: local throughput.  Deliberately forgiving: the gate is for "the
+#: wire tier collapsed", not for scheduling jitter on shared hosts.
+DEFAULT_MIN_CLUSTER_RATIO = 0.3
 
 
 def load_rates(path: Path) -> dict[tuple[str, int], float]:
@@ -126,6 +144,55 @@ def check_service(
     return [], [line]
 
 
+def load_cluster_rows(path: Path) -> list[dict]:
+    """The ``rows`` list of one cluster-scaling report."""
+    report = json.loads(path.read_text())
+    rows = report.get("rows", [])
+    if not rows:
+        raise ValueError(f"{path}: no cluster rows")
+    return rows
+
+
+def check_cluster(
+    rows: list[dict], min_ratio: float
+) -> tuple[list[str], list[str]]:
+    """``(failures, notes)`` of cluster rows vs the report's local row.
+
+    Machine-normalised like the service gate: both numerator and
+    denominator come from the same run on the same host, so the ratio
+    survives CI hardware churn where an absolute floor could not.
+    """
+    local = next(
+        (
+            float(r["pairs_per_second"])
+            for r in rows
+            if str(r.get("executor", "")).startswith("vectorized")
+        ),
+        None,
+    )
+    if local is None or local <= 0:
+        return (["cluster report has no local (vectorized) row"], [])
+    failures: list[str] = []
+    notes: list[str] = []
+    for row in rows:
+        if not str(row.get("executor", "")).startswith("cluster"):
+            continue
+        workers = int(row.get("workers", 0))
+        ratio = float(row["pairs_per_second"]) / local
+        line = (
+            f"cluster (workers={workers}): "
+            f"{float(row['pairs_per_second']):.0f} pairs/s, "
+            f"{ratio:.2f}x of local"
+        )
+        if ratio < min_ratio:
+            failures.append(f"{line} — below {min_ratio:.2f}x floor")
+        else:
+            notes.append(line)
+    if not failures and not notes:
+        failures.append("cluster report has no cluster rows")
+    return failures, notes
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -150,6 +217,17 @@ def main(argv: list[str] | None = None) -> int:
         help="fail when the service's warm/cold ratio drops below this "
         f"(default {DEFAULT_MIN_WARM_SPEEDUP})",
     )
+    parser.add_argument(
+        "--cluster", type=Path, default=CLUSTER,
+        help="BENCH_cluster_scaling.json to gate (skipped if absent)",
+    )
+    parser.add_argument(
+        "--min-cluster-ratio", type=float,
+        default=DEFAULT_MIN_CLUSTER_RATIO,
+        help="fail when a cluster row drops below this fraction of the "
+        f"same report's local throughput (default "
+        f"{DEFAULT_MIN_CLUSTER_RATIO})",
+    )
     args = parser.parse_args(argv)
     try:
         fresh = load_rates(args.fresh)
@@ -171,6 +249,19 @@ def main(argv: list[str] | None = None) -> int:
         notes += svc_notes
     else:
         notes.append(f"service report {args.service} absent — skipped")
+    if args.cluster.exists():
+        try:
+            rows = load_cluster_rows(args.cluster)
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"cannot load cluster report: {exc}", file=sys.stderr)
+            return 2
+        cl_failures, cl_notes = check_cluster(
+            rows, args.min_cluster_ratio
+        )
+        failures += cl_failures
+        notes += cl_notes
+    else:
+        notes.append(f"cluster report {args.cluster} absent — skipped")
     for line in notes:
         print(f"  ok  {line}")
     for line in failures:

@@ -1,52 +1,37 @@
 #!/usr/bin/env python3
-"""Guard the chunk-kernel seam: one module owns the kernel sequence.
+"""Guard the chunk-kernel seam — shim over ``tools.reprolint``.
 
-``repro.pixelbox.kernel`` must be the only module invoking
-``plan_levels`` / ``stacked_leaf_counts`` — that is the structural
-guarantee that a fourth hand-rolled copy of the plan+stacked-pixelize
-sequence (the drift class behind the latent batched disjoint-pair
-crash and the counter misalignment) cannot land silently.
-``repro.pixelbox.vectorized`` is allowlisted as the definition site.
+The seam invariant (``repro.pixelbox.kernel`` is the only module
+invoking ``plan_levels`` / ``stacked_leaf_counts``) now lives in
+``tools/reprolint/kernel_seam.py`` as checker RL701, where it runs on
+the AST instead of a line regex.  This entry point keeps the historical
+interface — ``python tools/check_kernel_seam.py``, plus the
+``SEAM_NAMES`` / ``ALLOWLIST`` / ``violations`` names the tier-1 tests
+import — so nothing downstream has to move.
 
-Run from the repository root (CI does, and the tier-1 suite wraps it):
-
-    python tools/check_kernel_seam.py
+Prefer ``python -m tools.reprolint`` for the full invariant suite.
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-SEAM_NAMES = ("plan_levels", "stacked_leaf_counts")
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
 
-# path (relative to src/) -> why it may name the kernel entry points
-ALLOWLIST = {
-    "repro/pixelbox/kernel.py": "the one caller",
-    "repro/pixelbox/vectorized.py": "the definition site",
-}
+from tools.reprolint.kernel_seam import (  # noqa: E402
+    SEAM_ALLOWLIST as ALLOWLIST,
+    SEAM_NAMES,
+    seam_violations as violations,
+)
 
-_PATTERN = re.compile(r"\b(%s)\b" % "|".join(SEAM_NAMES))
-
-
-def violations(src_root: Path) -> list[tuple[Path, int, str]]:
-    """``(file, line number, line)`` for every out-of-seam mention."""
-    found = []
-    for path in sorted(src_root.rglob("*.py")):
-        rel = path.relative_to(src_root).as_posix()
-        if rel in ALLOWLIST:
-            continue
-        for lineno, line in enumerate(
-            path.read_text().splitlines(), start=1
-        ):
-            if _PATTERN.search(line):
-                found.append((path, lineno, line.strip()))
-    return found
+__all__ = ["ALLOWLIST", "SEAM_NAMES", "violations", "main"]
 
 
 def main() -> int:
-    src_root = Path(__file__).resolve().parent.parent / "src"
+    src_root = _REPO_ROOT / "src"
     found = violations(src_root)
     if not found:
         print(

@@ -1,0 +1,62 @@
+"""reprolint — AST-based architectural invariant checks for this repo.
+
+Run from the repository root::
+
+    python -m tools.reprolint
+
+Each invariant is one pluggable :class:`~tools.reprolint.core.Checker`;
+intentional exceptions live in ``tools/reprolint_baseline.json`` with a
+reason per entry.  See ``README.md`` ("Static analysis & invariants")
+for the code table and the rationale behind each invariant.
+"""
+
+from __future__ import annotations
+
+from tools.reprolint.api_surface import ApiSurfaceChecker
+from tools.reprolint.asyncio_discipline import AsyncioDisciplineChecker
+from tools.reprolint.cache_key_coverage import CacheKeyCoverageChecker
+from tools.reprolint.core import (
+    Checker,
+    Finding,
+    Project,
+    RunResult,
+    load_baseline,
+    run_checkers,
+)
+from tools.reprolint.errors_taxonomy import ErrorTaxonomyChecker
+from tools.reprolint.hot_path import HotPathPurityChecker
+from tools.reprolint.kernel_seam import KernelSeamChecker
+from tools.reprolint.lock_discipline import LockDisciplineChecker
+from tools.reprolint.protocol_exhaustiveness import (
+    ProtocolExhaustivenessChecker,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "ApiSurfaceChecker",
+    "AsyncioDisciplineChecker",
+    "CacheKeyCoverageChecker",
+    "Checker",
+    "ErrorTaxonomyChecker",
+    "Finding",
+    "HotPathPurityChecker",
+    "KernelSeamChecker",
+    "LockDisciplineChecker",
+    "Project",
+    "ProtocolExhaustivenessChecker",
+    "RunResult",
+    "load_baseline",
+    "run_checkers",
+]
+
+#: Default checker set, in code order.
+ALL_CHECKERS: tuple[Checker, ...] = (
+    AsyncioDisciplineChecker(),
+    LockDisciplineChecker(),
+    ProtocolExhaustivenessChecker(),
+    CacheKeyCoverageChecker(),
+    ErrorTaxonomyChecker(),
+    HotPathPurityChecker(),
+    KernelSeamChecker(),
+    ApiSurfaceChecker(),
+)

@@ -1,0 +1,88 @@
+"""Small shared AST helpers for the reprolint checkers."""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = [
+    "dataclass_fields",
+    "find_class",
+    "find_function",
+    "string_tuple_constant",
+    "self_attr",
+]
+
+
+def find_class(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def find_function(
+    body: list[ast.stmt], name: str
+) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+    for node in body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and node.name == name:
+            return node
+    return None
+
+
+def dataclass_fields(tree: ast.Module, classname: str) -> list[str]:
+    """Field names of a dataclass, from its annotated class body.
+
+    Mirrors ``dataclasses.fields`` statically: annotated assignments in
+    declaration order, skipping ``ClassVar`` annotations and names that
+    carry no annotation (plain class attributes are not fields).
+    """
+    cls = find_class(tree, classname)
+    if cls is None:
+        return []
+    fields: list[str] = []
+    for node in cls.body:
+        if not isinstance(node, ast.AnnAssign):
+            continue
+        if not isinstance(node.target, ast.Name):
+            continue
+        annotation = ast.unparse(node.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append(node.target.id)
+    return fields
+
+
+def string_tuple_constant(tree: ast.Module, name: str) -> list[str] | None:
+    """The string elements of a module-level ``NAME = ("a", "b", ...)``."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                value = node.value
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    out = []
+                    for elt in value.elts:
+                        if isinstance(elt, ast.Constant) and isinstance(
+                            elt.value, str
+                        ):
+                            out.append(elt.value)
+                    return out
+    return None
+
+
+def self_attr(node: ast.expr) -> str | None:
+    """``X`` when ``node`` is ``self.X``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None

@@ -1,0 +1,137 @@
+"""RL101: no blocking calls inside ``async def`` bodies of the service.
+
+The comparison service is asyncio-native: the event loop must stay free
+to accept, reject, and time out requests while a batch runs on the
+executor thread.  One blocking call inside a coroutine stalls every
+connection at once — the failure mode is global, and invisible until
+load.  This checker statically forbids the known blocking primitives
+inside ``async def`` bodies under ``src/repro/service/``:
+
+* ``time.sleep`` (use ``asyncio.sleep``)
+* synchronous ``socket.*`` module calls
+* ``subprocess.run`` / ``call`` / ``check_*`` / ``Popen``
+* synchronous file I/O via the ``open`` builtin
+* un-awaited ``.acquire()`` without ``timeout=`` / ``blocking=False``
+  (a ``threading.Lock`` acquired on the loop; ``asyncio.Lock.acquire``
+  is awaited and therefore exempt)
+
+CPU-bound work belongs behind ``loop.run_in_executor`` — every existing
+dispatch path already does this.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.core import Finding, Project
+
+__all__ = ["AsyncioDisciplineChecker"]
+
+_SUBPROCESS_BLOCKING = {
+    "run", "call", "check_call", "check_output", "Popen"
+}
+
+
+def _blocking_reason(call: ast.Call) -> tuple[str, str] | None:
+    """``(token, why)`` when ``call`` blocks the event loop."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "open", "synchronous file I/O (`open`) on the event loop"
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        module, attr = func.value.id, func.attr
+        if module == "time" and attr == "sleep":
+            return (
+                "time.sleep",
+                "`time.sleep` blocks the loop (use `asyncio.sleep`)",
+            )
+        if module == "socket":
+            return (
+                f"socket.{attr}",
+                f"synchronous `socket.{attr}` call on the event loop",
+            )
+        if module == "subprocess" and attr in _SUBPROCESS_BLOCKING:
+            return (
+                f"subprocess.{attr}",
+                f"`subprocess.{attr}` blocks the loop",
+            )
+    return None
+
+
+def _acquire_reason(call: ast.Call) -> tuple[str, str] | None:
+    """Un-awaited ``.acquire()`` with no timeout is a loop stall."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "acquire"):
+        return None
+    for kw in call.keywords:
+        if kw.arg in ("timeout", "blocking"):
+            return None
+    if call.args:  # positional blocking/timeout argument
+        return None
+    return (
+        "acquire",
+        "un-awaited `.acquire()` without a timeout can block the loop",
+    )
+
+
+class _AsyncBodyVisitor(ast.NodeVisitor):
+    """Collects blocking calls inside one ``async def`` body.
+
+    Nested function definitions (sync or async) are their own scopes —
+    a sync helper defined inside a coroutine runs wherever it is
+    called, which may be an executor thread — so recursion stops there.
+    """
+
+    def __init__(self) -> None:
+        self.hits: list[tuple[int, str, str]] = []
+        self._awaited: set[int] = set()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return  # new scope
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        return  # new scope
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return  # called elsewhere, possibly off-loop
+
+    def visit_Await(self, node: ast.Await) -> None:
+        if isinstance(node.value, ast.Call):
+            self._awaited.add(id(node.value))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        hit = _blocking_reason(node)
+        if hit is None and id(node) not in self._awaited:
+            hit = _acquire_reason(node)
+        if hit is not None:
+            self.hits.append((node.lineno, *hit))
+        self.generic_visit(node)
+
+
+class AsyncioDisciplineChecker:
+    name = "asyncio-discipline"
+    codes = ("RL101",)
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for rel in project.source_files("src/repro/service"):
+            tree = project.tree(rel)
+            if tree is None:
+                continue
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.AsyncFunctionDef):
+                    continue
+                visitor = _AsyncBodyVisitor()
+                for stmt in node.body:
+                    visitor.visit(stmt)
+                for line, token, reason in visitor.hits:
+                    findings.append(
+                        Finding(
+                            code="RL101",
+                            path=rel,
+                            line=line,
+                            ident=f"{node.name}:{token}",
+                            message=f"async def {node.name}: {reason}",
+                        )
+                    )
+        return findings

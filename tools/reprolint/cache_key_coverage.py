@@ -1,0 +1,321 @@
+"""RL4xx: every execution-affecting field reaches cache-key derivation.
+
+The result cache's correctness story is that a key equals another key
+exactly when the computation would be bit-for-bit identical.  That story
+has two statically checkable halves:
+
+1. **Dynamic derivation stays dynamic** (RL402).  ``cache/keys.py``
+   builds tokens by iterating ``dataclasses.fields`` — adding a field to
+   ``ExecutionPolicy`` / ``LaunchConfig`` auto-invalidates.  The same
+   goes for ``CompareOptions.to_dict`` (the request-key payload).  If
+   either is ever rewritten with a hard-coded field list, a new field
+   silently stops reaching the key: stale hits with no failing test
+   until someone compares results.  The checker flags the rewrite
+   itself, and — when a hard-coded list exists — every field it misses.
+
+2. **Hard-coded mirror lists stay complete** (RL401).  Three places
+   intentionally enumerate another dataclass's fields:
+   ``wire._CONFIG_FIELDS`` and ``api/request.py WIRE_CONFIG_FIELDS``
+   mirror ``LaunchConfig``, ``worker.TABLE_FIELDS`` mirrors
+   ``EdgeTable``, and ``CompareOptions.launch_config()`` must forward
+   every ``LaunchConfig`` field.  A field added on one side but not the
+   other ships configs that silently drop a knob over the wire.
+
+Fields excluded *on purpose* go on ``EXCLUDED_FIELDS`` below with a
+comment saying why — the checker forces the conversation into a diff.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.astutil import (
+    dataclass_fields,
+    find_class,
+    find_function,
+    string_tuple_constant,
+)
+from tools.reprolint.core import Finding, Project
+
+__all__ = ["CacheKeyCoverageChecker", "EXCLUDED_FIELDS"]
+
+_KEYS = "src/repro/cache/keys.py"
+_OPTIONS = "src/repro/api/options.py"
+_REQUEST = "src/repro/api/request.py"
+_WIRE = "src/repro/cluster/wire.py"
+_WORKER = "src/repro/cluster/worker.py"
+_COMMON = "src/repro/pixelbox/common.py"
+_VECTORIZED = "src/repro/pixelbox/vectorized.py"
+
+#: Fields deliberately excluded from key derivation, with the reason.
+#: An entry here is the *only* sanctioned way to keep a field out of a
+#: cache key; everything else must flow or fail RL402.
+EXCLUDED_FIELDS: dict[str, dict[str, str]] = {
+    # No exclusions today: CompareOptions serializes every field into
+    # to_dict() (trace/trace_out included — over-keying is safe, a
+    # traced request simply caches under its own key), and the policy/
+    # config tokens enumerate their dataclasses dynamically.
+}
+
+
+def _calls_dataclass_fields(node: ast.AST) -> bool:
+    """Whether ``dataclasses.fields(...)`` / ``fields(...)`` is called."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if isinstance(func, ast.Attribute) and func.attr == "fields":
+            return True
+        if isinstance(func, ast.Name) and func.id == "fields":
+            return True
+    return False
+
+
+def _calls_function(node: ast.AST, name: str) -> bool:
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Call):
+            continue
+        func = sub.func
+        if isinstance(func, ast.Name) and func.id == name:
+            return True
+        if isinstance(func, ast.Attribute) and func.attr == name:
+            return True
+    return False
+
+
+def _named_strings(node: ast.AST) -> set[str]:
+    """Every string constant in a subtree (a hard-coded field list)."""
+    return {
+        sub.value
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str)
+    }
+
+
+def _keyword_args(call: ast.Call) -> set[str]:
+    return {kw.arg for kw in call.keywords if kw.arg is not None}
+
+
+class CacheKeyCoverageChecker:
+    name = "cache-key-coverage"
+    codes = ("RL401", "RL402")
+
+    def check(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._check_dynamic_tokens(project))
+        findings.extend(self._check_options_serialization(project))
+        findings.extend(self._check_mirror_lists(project))
+        return findings
+
+    # -- half 1: dynamic derivation stays dynamic ----------------------
+    def _check_dynamic_tokens(self, project: Project) -> list[Finding]:
+        tree = project.tree(_KEYS)
+        if tree is None:
+            return []
+        findings: list[Finding] = []
+        field_token = find_function(tree.body, "_field_token")
+        if field_token is None or not _calls_dataclass_fields(field_token):
+            findings.append(
+                Finding(
+                    code="RL402",
+                    path=_KEYS,
+                    line=(
+                        field_token.lineno if field_token is not None else 0
+                    ),
+                    ident="_field_token:dynamic",
+                    message=(
+                        "_field_token must iterate dataclasses.fields() "
+                        "so new ExecutionPolicy/LaunchConfig fields "
+                        "auto-invalidate cache keys"
+                    ),
+                )
+            )
+        for name in ("policy_token", "config_token"):
+            fn = find_function(tree.body, name)
+            if fn is None or not (
+                _calls_function(fn, "_field_token")
+                or _calls_dataclass_fields(fn)
+            ):
+                findings.append(
+                    Finding(
+                        code="RL402",
+                        path=_KEYS,
+                        line=fn.lineno if fn is not None else 0,
+                        ident=f"{name}:dynamic",
+                        message=(
+                            f"{name} must derive its token from "
+                            f"_field_token (dynamic field enumeration)"
+                        ),
+                    )
+                )
+        return findings
+
+    def _check_options_serialization(
+        self, project: Project
+    ) -> list[Finding]:
+        tree = project.tree(_OPTIONS)
+        if tree is None:
+            return []
+        cls = find_class(tree, "CompareOptions")
+        if cls is None:
+            return []
+        to_dict = find_function(cls.body, "to_dict")
+        if to_dict is None:
+            return [
+                Finding(
+                    code="RL402",
+                    path=_OPTIONS,
+                    line=cls.lineno,
+                    ident="CompareOptions.to_dict:missing",
+                    message=(
+                        "CompareOptions has no to_dict — request cache "
+                        "keys are built from its serialization"
+                    ),
+                )
+            ]
+        if _calls_dataclass_fields(to_dict):
+            return []  # dynamic: every field reaches the key, present
+        # Hard-coded serialization: each field must be named or excluded.
+        named = _named_strings(to_dict)
+        excluded = EXCLUDED_FIELDS.get("CompareOptions", {})
+        findings = []
+        for field in dataclass_fields(tree, "CompareOptions"):
+            if field in named or field in excluded:
+                continue
+            findings.append(
+                Finding(
+                    code="RL402",
+                    path=_OPTIONS,
+                    line=to_dict.lineno,
+                    ident=f"CompareOptions.to_dict:{field}",
+                    message=(
+                        f"CompareOptions.{field} never reaches to_dict() "
+                        f"— request-cache keys would serve stale hits "
+                        f"across different {field!r} values (key it or "
+                        f"add an EXCLUDED_FIELDS entry with a reason)"
+                    ),
+                )
+            )
+        return findings
+
+    # -- half 2: hard-coded mirror lists stay complete -----------------
+    def _check_mirror_lists(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        common = project.tree(_COMMON)
+        launch_fields = (
+            dataclass_fields(common, "LaunchConfig")
+            if common is not None
+            else []
+        )
+        if launch_fields:
+            findings.extend(
+                self._check_string_mirror(
+                    project, _WIRE, "_CONFIG_FIELDS", launch_fields
+                )
+            )
+            findings.extend(
+                self._check_string_mirror(
+                    project, _REQUEST, "WIRE_CONFIG_FIELDS", launch_fields
+                )
+            )
+            findings.extend(
+                self._check_launch_config_call(project, launch_fields)
+            )
+        vectorized = project.tree(_VECTORIZED)
+        table_fields = (
+            dataclass_fields(vectorized, "EdgeTable")
+            if vectorized is not None
+            else []
+        )
+        if table_fields:
+            findings.extend(
+                self._check_string_mirror(
+                    project, _WORKER, "TABLE_FIELDS", table_fields
+                )
+            )
+        return findings
+
+    def _check_string_mirror(
+        self,
+        project: Project,
+        rel: str,
+        constant: str,
+        source_fields: list[str],
+    ) -> list[Finding]:
+        tree = project.tree(rel)
+        if tree is None:
+            return []
+        mirror = string_tuple_constant(tree, constant)
+        if mirror is None:
+            return []
+        findings = []
+        for field in source_fields:
+            if field not in mirror:
+                findings.append(
+                    Finding(
+                        code="RL401",
+                        path=rel,
+                        line=0,
+                        ident=f"{constant}:{field}",
+                        message=(
+                            f"{constant} is missing field {field!r} of "
+                            f"its source dataclass — the mirror list "
+                            f"silently drops the knob"
+                        ),
+                    )
+                )
+        for extra in mirror:
+            if extra not in source_fields:
+                findings.append(
+                    Finding(
+                        code="RL401",
+                        path=rel,
+                        line=0,
+                        ident=f"{constant}:+{extra}",
+                        message=(
+                            f"{constant} names {extra!r}, which is not a "
+                            f"field of its source dataclass"
+                        ),
+                    )
+                )
+        return findings
+
+    def _check_launch_config_call(
+        self, project: Project, launch_fields: list[str]
+    ) -> list[Finding]:
+        tree = project.tree(_OPTIONS)
+        if tree is None:
+            return []
+        cls = find_class(tree, "CompareOptions")
+        if cls is None:
+            return []
+        fn = find_function(cls.body, "launch_config")
+        if fn is None:
+            return []
+        passed: set[str] = set()
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id == "LaunchConfig"
+                ):
+                    passed |= _keyword_args(node)
+        findings = []
+        for field in launch_fields:
+            if field not in passed:
+                findings.append(
+                    Finding(
+                        code="RL401",
+                        path=_OPTIONS,
+                        line=fn.lineno,
+                        ident=f"launch_config:{field}",
+                        message=(
+                            f"CompareOptions.launch_config() does not "
+                            f"forward LaunchConfig field {field!r} — the "
+                            f"knob exists but can never be set from the "
+                            f"front door"
+                        ),
+                    )
+                )
+        return findings

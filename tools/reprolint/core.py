@@ -1,0 +1,196 @@
+"""The reprolint framework: findings, baseline suppression, the runner.
+
+reprolint is a zero-dependency AST-based analysis pass over this
+repository's architectural invariants — the seams that keep the paper's
+correctness argument (exact PixelBox parity across heterogeneous
+executors) true as the codebase grows.  Each invariant is one
+:class:`Checker`; each violation is one :class:`Finding` with a stable
+code and fingerprint.
+
+Intentional exceptions live in a committed baseline file
+(``tools/reprolint_baseline.json``): a finding whose ``(code, path,
+ident)`` triple matches a baseline entry is suppressed, every other
+finding fails the run.  Baseline entries carry a ``reason`` so the
+exception is reviewable where it is declared.  Fingerprints never
+include line numbers — moving code around must not churn the baseline.
+
+Run it from the repository root::
+
+    python -m tools.reprolint
+    python -m tools.reprolint --json findings.json   # CI artifact
+    python -m tools.reprolint --write-baseline       # accept current
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Protocol
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "Project",
+    "RunResult",
+    "load_baseline",
+    "run_checkers",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation.
+
+    ``ident`` is the stable fingerprint used for baseline matching:
+    it names *what* is wrong (a message type, a field, a function),
+    never *where on the line* it is, so refactors that move code do not
+    invalidate the baseline.
+    """
+
+    code: str  # e.g. "RL301"
+    path: str  # repo-relative posix path
+    line: int  # 1-based; 0 when the finding is file-level
+    ident: str  # stable fingerprint within (code, path)
+    message: str
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.code, self.path, self.ident)
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "ident": self.ident,
+            "message": self.message,
+        }
+
+
+class Checker(Protocol):
+    """One pluggable invariant pass."""
+
+    name: str
+    codes: tuple[str, ...]
+
+    def check(self, project: "Project") -> list[Finding]: ...
+
+
+class Project:
+    """One analysis target: a repository root with parsed-tree caching.
+
+    Checkers address files by repo-relative posix path, so the same
+    checker runs unchanged over the real repository and over the
+    fixture trees the tests build under ``tmp_path``.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = Path(root).resolve()
+        self._trees: dict[str, ast.Module | None] = {}
+
+    def exists(self, rel: str) -> bool:
+        return (self.root / rel).is_file()
+
+    def read(self, rel: str) -> str:
+        return (self.root / rel).read_text()
+
+    def tree(self, rel: str) -> ast.Module | None:
+        """Parsed AST of ``rel``, or ``None`` if absent/unparseable."""
+        if rel not in self._trees:
+            path = self.root / rel
+            try:
+                self._trees[rel] = ast.parse(
+                    path.read_text(), filename=str(path)
+                )
+            except (OSError, SyntaxError):
+                self._trees[rel] = None
+        return self._trees[rel]
+
+    def source_files(self, under: str = "src/repro") -> list[str]:
+        """Repo-relative posix paths of every ``.py`` file under a dir."""
+        base = self.root / under
+        if not base.is_dir():
+            return []
+        return sorted(
+            p.relative_to(self.root).as_posix()
+            for p in base.rglob("*.py")
+        )
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+def load_baseline(path: Path) -> list[dict]:
+    """Baseline entries (``[]`` when the file does not exist)."""
+    if not path.is_file():
+        return []
+    raw = json.loads(path.read_text())
+    entries = raw.get("entries", [])
+    for entry in entries:
+        for field in ("code", "path", "ident", "reason"):
+            if field not in entry:
+                raise ValueError(
+                    f"baseline entry missing {field!r}: {entry}"
+                )
+    return entries
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    entries = [
+        {
+            "code": f.code,
+            "path": f.path,
+            "ident": f.ident,
+            "reason": "TODO: justify or fix",
+        }
+        for f in sorted(findings, key=lambda f: f.key)
+    ]
+    path.write_text(
+        json.dumps({"entries": entries}, indent=2, sort_keys=True) + "\n"
+    )
+
+
+@dataclass
+class RunResult:
+    """Outcome of one reprolint pass."""
+
+    findings: list[Finding]  # NOT suppressed — these fail the run
+    suppressed: list[Finding]  # matched a baseline entry
+    stale: list[dict]  # baseline entries that matched nothing
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def run_checkers(
+    checkers: Iterable[Checker],
+    project: Project,
+    baseline: Iterable[dict] = (),
+    log: Callable[[str], None] | None = None,
+) -> RunResult:
+    """Run every checker, then split findings against the baseline."""
+    all_findings: list[Finding] = []
+    for checker in checkers:
+        found = checker.check(project)
+        if log is not None:
+            log(f"  {checker.name}: {len(found)} finding(s)")
+        all_findings.extend(found)
+
+    by_key = {
+        (e["code"], e["path"], e["ident"]): e for e in baseline
+    }
+    matched: set[tuple[str, str, str]] = set()
+    fresh: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in all_findings:
+        if finding.key in by_key:
+            matched.add(finding.key)
+            suppressed.append(finding)
+        else:
+            fresh.append(finding)
+    stale = [e for k, e in by_key.items() if k not in matched]
+    fresh.sort(key=lambda f: (f.path, f.line, f.code, f.ident))
+    return RunResult(findings=fresh, suppressed=suppressed, stale=stale)

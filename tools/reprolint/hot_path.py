@@ -1,0 +1,160 @@
+"""RL601: the chunk-kernel hot path stays observability-free.
+
+``pixelbox/kernel.py`` is the per-chunk inner loop; the observability
+layer (``repro.obs``) allocates span records, takes locks, and touches
+ContextVars.  The agreed seam is exactly one guarded read: ``run_shard``
+may call ``current_tracer()`` once (per shard, not per chunk) and only
+emit spans when a tracer is active.  Anything more — another obs
+import, a second ``current_tracer()`` call, any obs reference from
+``run_chunk`` / ``_run_shard`` — reintroduces per-chunk overhead on the
+path whose throughput the whole paper reproduction is measuring.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.reprolint.core import Finding, Project
+
+__all__ = ["HotPathPurityChecker"]
+
+_KERNEL = "src/repro/pixelbox/kernel.py"
+_ALLOWED_IMPORT = "current_tracer"
+_ALLOWED_CALLER = "run_shard"
+_FORBIDDEN_FUNCS = ("run_chunk", "_run_shard")
+
+
+def _obs_imports(tree: ast.Module) -> list[tuple[int, str]]:
+    """``(line, name)`` for every name imported from ``repro.obs*``."""
+    out: list[tuple[int, str]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == "repro.obs" or module.startswith("repro.obs."):
+                for alias in node.names:
+                    out.append((node.lineno, alias.asname or alias.name))
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "repro.obs" or alias.name.startswith(
+                    "repro.obs."
+                ):
+                    out.append((node.lineno, alias.asname or alias.name))
+    return out
+
+
+def _function_bodies(
+    tree: ast.Module,
+) -> dict[str, ast.FunctionDef | ast.AsyncFunctionDef]:
+    return {
+        node.name: node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _name_refs(node: ast.AST, name: str) -> list[int]:
+    return [
+        sub.lineno
+        for sub in ast.walk(node)
+        if isinstance(sub, ast.Name) and sub.id == name
+    ]
+
+
+class HotPathPurityChecker:
+    name = "hot-path-purity"
+    codes = ("RL601",)
+
+    def check(self, project: Project) -> list[Finding]:
+        tree = project.tree(_KERNEL)
+        if tree is None:
+            return []
+        findings: list[Finding] = []
+
+        for line, imported in _obs_imports(tree):
+            if imported == _ALLOWED_IMPORT:
+                continue
+            findings.append(
+                Finding(
+                    code="RL601",
+                    path=_KERNEL,
+                    line=line,
+                    ident=f"import:{imported}",
+                    message=(
+                        f"kernel.py imports {imported!r} from repro.obs "
+                        f"— only the guarded `current_tracer` read is "
+                        f"allowed on the hot path"
+                    ),
+                )
+            )
+
+        funcs = _function_bodies(tree)
+
+        # The one sanctioned read lives in run_shard; a reference from
+        # any other function re-couples the per-chunk loop to obs.
+        tracer_lines = _name_refs(tree, _ALLOWED_IMPORT)
+        allowed_owner = funcs.get(_ALLOWED_CALLER)
+        allowed_lines = (
+            set(_name_refs(allowed_owner, _ALLOWED_IMPORT))
+            if allowed_owner is not None
+            else set()
+        )
+        import_lines = {line for line, _ in _obs_imports(tree)}
+        strays = [
+            line
+            for line in tracer_lines
+            if line not in allowed_lines and line not in import_lines
+        ]
+        for line in strays:
+            findings.append(
+                Finding(
+                    code="RL601",
+                    path=_KERNEL,
+                    line=line,
+                    ident="call:current_tracer:stray",
+                    message=(
+                        f"current_tracer referenced outside "
+                        f"{_ALLOWED_CALLER}() — the hot path allows "
+                        f"exactly one guarded read, in "
+                        f"{_ALLOWED_CALLER}"
+                    ),
+                )
+            )
+        if len(allowed_lines) > 1:
+            findings.append(
+                Finding(
+                    code="RL601",
+                    path=_KERNEL,
+                    line=sorted(allowed_lines)[1],
+                    ident="call:current_tracer:multiple",
+                    message=(
+                        f"{_ALLOWED_CALLER}() reads current_tracer "
+                        f"{len(allowed_lines)} times — one read per "
+                        f"shard, reused across chunks"
+                    ),
+                )
+            )
+
+        # The per-chunk functions must not touch obs at all, even via
+        # an attribute path (repro.obs.metrics.counter(...) etc.).
+        for fname in _FORBIDDEN_FUNCS:
+            fn = funcs.get(fname)
+            if fn is None:
+                continue
+            for sub in ast.walk(fn):
+                if isinstance(sub, ast.Attribute) and sub.attr in (
+                    "obs",
+                ):
+                    findings.append(
+                        Finding(
+                            code="RL601",
+                            path=_KERNEL,
+                            line=sub.lineno,
+                            ident=f"{fname}:obs-ref",
+                            message=(
+                                f"{fname}() references repro.obs — the "
+                                f"per-chunk loop must stay "
+                                f"observability-free"
+                            ),
+                        )
+                    )
+        return findings
